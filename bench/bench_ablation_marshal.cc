@@ -1,0 +1,81 @@
+// Ablation: the paper's stated future work — "we plan on providing a custom
+// marshaling library that is more efficient for our needs" (§5). This bench
+// swaps the JDK 1.1 cost model for the optimized bulk marshaler and measures
+// the end-to-end effect on a full lock-transfer cycle over the WAN.
+#include "bench_common.h"
+
+namespace mocha::bench {
+namespace {
+
+double cycle_ms(std::size_t bytes, const serial::MarshalCostModel& model) {
+  replica::ReplicaOptions ropts;
+  ropts.marshal_model = model;
+  World world(net::NetProfile::wan(), 2, net::TransferMode::kHybrid, ropts);
+  double elapsed = -1;
+  world.sys->run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "a", util::Buffer(bytes), 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    if (!lk.lock().is_ok()) return;
+    r->byte_data()[0] = 1;
+    (void)lk.unlock();
+  });
+  world.sys->run_at(1, [&](Mocha& mocha) {
+    world.sched.sleep_for(sim::seconds(2));
+    auto r = replica::Replica::attach(mocha, "a");
+    if (!r.is_ok()) return;
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    const sim::Time t0 = world.sched.now();
+    if (!lk.lock().is_ok()) return;
+    elapsed = sim::to_ms(world.sched.now() - t0);
+    (void)lk.unlock();
+  });
+  world.sched.run();
+  return elapsed;
+}
+
+void BM_Cycle_JDK11(benchmark::State& state) {
+  report_sim_time(state, cycle_ms(static_cast<std::size_t>(state.range(0)),
+                                  serial::MarshalCostModel::jdk11()));
+}
+BENCHMARK(BM_Cycle_JDK11)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
+void BM_Cycle_CustomMarshal(benchmark::State& state) {
+  report_sim_time(state, cycle_ms(static_cast<std::size_t>(state.range(0)),
+                                  serial::MarshalCostModel::custom()));
+}
+BENCHMARK(BM_Cycle_CustomMarshal)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
+}  // namespace
+}  // namespace mocha::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== Ablation: JDK 1.1 marshaling vs custom library (WAN, hybrid, full "
+      "acquire-with-transfer cycle) ==\n");
+  std::printf("%-10s %12s %12s %10s\n", "size", "jdk11(ms)", "custom(ms)",
+              "speedup");
+  for (std::size_t kb : {4, 64, 256}) {
+    const double jdk =
+        mocha::bench::cycle_ms(kb * 1024, mocha::serial::MarshalCostModel::jdk11());
+    const double custom = mocha::bench::cycle_ms(
+        kb * 1024, mocha::serial::MarshalCostModel::custom());
+    std::printf("%7zu KB %12.1f %12.1f %9.1fx\n", kb, jdk, custom,
+                custom > 0 ? jdk / custom : 0.0);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: shared (read-only) locks. A read-mostly workload — K sites each
+// performing R reads of the shared state — under (a) exclusive locks only
+// (the paper's base prototype) and (b) shared locks (§3's suggested
+// extension). Shared grants batch, so readers overlap instead of serializing
+// behind each other's WAN round trips.
+#include "bench_common.h"
+
+namespace mocha::bench {
+namespace {
+
+double read_workload_ms(int readers, bool use_shared) {
+  replica::ReplicaOptions ropts;
+  ropts.marshal_model = serial::MarshalCostModel::zero();
+  World world(net::NetProfile::wan(), readers + 1, net::TransferMode::kBasic,
+              ropts);
+  constexpr int kReadsPerSite = 4;
+
+  // Creator publishes the object and version 1.
+  world.sys->run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "doc", util::Buffer(2048),
+                                      readers + 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    if (!lk.lock().is_ok()) return;
+    r->byte_data()[0] = 1;
+    (void)lk.unlock();
+  });
+
+  double last_done_ms = -1;
+  int finished = 0;
+  for (int s = 1; s <= readers; ++s) {
+    world.sys->run_at(static_cast<SiteId>(s), [&, use_shared](Mocha& mocha) {
+      world.sched.sleep_for(sim::msec(200));
+      auto r = replica::Replica::attach(mocha, "doc");
+      while (!r.is_ok()) {
+        world.sched.sleep_for(sim::msec(50));
+        r = replica::Replica::attach(mocha, "doc");
+      }
+      replica::ReplicaLock lk(1, mocha);
+      lk.associate(r.value());
+      const sim::Time t0 = world.sched.now();
+      for (int i = 0; i < kReadsPerSite; ++i) {
+        util::Status st = use_shared ? lk.lock_shared() : lk.lock();
+        if (!st.is_ok()) return;
+        benchmark::DoNotOptimize(std::as_const(*r.value()).byte_data()[0]);
+        world.sched.sleep_for(sim::msec(5));  // the "render" work
+        (void)lk.unlock();
+      }
+      ++finished;
+      const double elapsed = sim::to_ms(world.sched.now() - t0);
+      if (elapsed > last_done_ms) last_done_ms = elapsed;
+    });
+  }
+  world.sched.run();
+  return finished == readers ? last_done_ms : -1;
+}
+
+void BM_ReadWorkload_Exclusive(benchmark::State& state) {
+  report_sim_time(state,
+                  read_workload_ms(static_cast<int>(state.range(0)), false));
+}
+BENCHMARK(BM_ReadWorkload_Exclusive)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6);
+
+void BM_ReadWorkload_Shared(benchmark::State& state) {
+  report_sim_time(state,
+                  read_workload_ms(static_cast<int>(state.range(0)), true));
+}
+BENCHMARK(BM_ReadWorkload_Shared)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6);
+
+}  // namespace
+}  // namespace mocha::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== Ablation: exclusive vs shared locks, read-mostly WAN workload ==\n");
+  std::printf("%-8s %16s %14s %10s\n", "readers", "exclusive(ms)",
+              "shared(ms)", "speedup");
+  for (int k : {2, 4, 6}) {
+    const double ex = mocha::bench::read_workload_ms(k, false);
+    const double sh = mocha::bench::read_workload_ms(k, true);
+    std::printf("%-8d %16.1f %14.1f %9.1fx\n", k, ex, sh,
+                sh > 0 ? ex / sh : 0.0);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: the availability knob (§4). "The overhead of such state
+// dissemination can be controlled based on the level of availability needed
+// for shared objects." Sweeps UR = 1..6 over the WAN and reports the unlock
+// (dissemination) overhead and the follow-on benefit: an up-to-date site's
+// acquire needs no transfer.
+#include "bench_common.h"
+
+namespace mocha::bench {
+namespace {
+
+struct UrCosts {
+  double unlock_ms = -1;        // dissemination overhead at release
+  double next_acquire_ms = -1;  // acquire latency at a pushed-to site
+};
+
+UrCosts ur_costs(int ur, std::size_t bytes) {
+  replica::ReplicaOptions ropts;
+  ropts.marshal_model = serial::MarshalCostModel::zero();
+  World world(net::NetProfile::wan(), 7, net::TransferMode::kHybrid, ropts);
+  UrCosts costs;
+
+  for (int s = 2; s <= 6; ++s) {
+    world.sys->run_at(static_cast<SiteId>(s), [&world](Mocha& mocha) {
+      replica::ReplicaLock lk(1, mocha);
+      (void)lk;
+      world.sched.sleep_for(sim::seconds(600));
+    });
+  }
+  world.sys->run_at(0, [&, ur](Mocha& mocha) {
+    world.sched.sleep_for(sim::msec(100));
+    auto r = replica::Replica::create(mocha, "u", util::Buffer(bytes), 7);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    lk.set_update_replication(ur);
+    if (!lk.lock().is_ok()) return;
+    r->byte_data()[0] = 1;
+    const sim::Time t0 = world.sched.now();
+    if (!lk.unlock().is_ok()) return;
+    costs.unlock_ms = sim::to_ms(world.sched.now() - t0);
+  });
+  // Site 1 registers immediately (so it is the first dissemination target
+  // when UR > 1), then attaches and acquires after the writer released.
+  world.sys->run_at(1, [&](Mocha& mocha) {
+    replica::ReplicaLock lk(1, mocha);  // register as holder before the lock
+    auto r = replica::Replica::attach(mocha, "u");
+    while (!r.is_ok()) {
+      world.sched.sleep_for(sim::msec(50));
+      r = replica::Replica::attach(mocha, "u");
+    }
+    lk.associate(r.value());
+    world.sched.sleep_for(sim::seconds(120));  // after the writer's unlock
+    const sim::Time t0 = world.sched.now();
+    if (!lk.lock().is_ok()) return;
+    costs.next_acquire_ms = sim::to_ms(world.sched.now() - t0);
+    (void)lk.unlock();
+  });
+  world.sched.run_until(sim::seconds(590));
+  return costs;
+}
+
+void BM_UrSweep_Unlock(benchmark::State& state) {
+  const UrCosts costs = ur_costs(static_cast<int>(state.range(0)), 4096);
+  report_sim_time(state, costs.unlock_ms);
+  state.counters["next_acquire_ms"] = costs.next_acquire_ms;
+}
+BENCHMARK(BM_UrSweep_Unlock)->UseManualTime()->Iterations(1)->DenseRange(1, 6);
+
+}  // namespace
+}  // namespace mocha::bench
+
+int main(int argc, char** argv) {
+  std::printf("== Ablation: availability (UR) vs overhead, 4K replica, WAN ==\n");
+  std::printf("%-4s %14s %20s\n", "UR", "unlock(ms)", "next acquire(ms)");
+  for (int ur = 1; ur <= 6; ++ur) {
+    const auto costs = mocha::bench::ur_costs(ur, 4096);
+    std::printf("%-4d %14.1f %20.1f\n", ur, costs.unlock_ms,
+                costs.next_acquire_ms);
+  }
+  std::printf("(higher UR: costlier unlock, cheaper acquire at pushed sites,\n"
+              " and the newest version survives UR-1 failures)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

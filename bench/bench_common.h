@@ -1,0 +1,98 @@
+// Shared scaffolding for the evaluation benches (paper §5).
+//
+// Every bench runs a deterministic simulation and reports *virtual* time —
+// the simulated milliseconds that a 1997 testbed would have measured — via
+// google-benchmark's manual-time mode plus a `sim_ms` counter, and prints a
+// paper-style table row so EXPERIMENTS.md can be filled by reading the bench
+// output directly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "net/profiles.h"
+#include "replica/generated.h"
+#include "replica/lock.h"
+#include "replica/replica.h"
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+
+namespace mocha::bench {
+
+using runtime::Mocha;
+using runtime::MochaOptions;
+using runtime::MochaSystem;
+using runtime::SiteId;
+
+struct World {
+  sim::Scheduler sched;
+  std::unique_ptr<MochaSystem> sys;
+  std::unique_ptr<replica::ReplicaSystem> replicas;
+
+  World(net::NetProfile profile, int total_sites, net::TransferMode mode,
+        replica::ReplicaOptions ropts = {}) {
+    MochaOptions mopts;
+    mopts.transfer_mode = mode;
+    sys = std::make_unique<MochaSystem>(sched, std::move(profile),
+                                        std::move(mopts));
+    sys->add_site("home");
+    for (int i = 1; i < total_sites; ++i) {
+      sys->add_site("site" + std::to_string(i));
+    }
+    replicas =
+        std::make_unique<replica::ReplicaSystem>(*sys, std::move(ropts));
+  }
+};
+
+// Measures the cost of disseminating a `payload_bytes` replica to `k_sites`
+// remote holders at unlock time (paper Figs 9-14): the writer raises UR to
+// k+1 and the measured region is the unlock()'s dissemination work.
+// Marshal cost is kept out of the measurement (the paper reports it
+// separately, Fig 8).
+inline double run_dissemination_ms(const net::NetProfile& profile,
+                                   std::size_t payload_bytes, int k_sites,
+                                   net::TransferMode mode) {
+  replica::ReplicaOptions ropts;
+  ropts.marshal_model = serial::MarshalCostModel::zero();
+  World world(profile, k_sites + 1, mode, ropts);
+  double elapsed_ms = -1.0;
+
+  // Receivers register as holders first.
+  for (int s = 1; s <= k_sites; ++s) {
+    world.sys->run_at(static_cast<SiteId>(s), [&world](Mocha& mocha) {
+      replica::ReplicaLock lk(1, mocha);
+      (void)lk;
+      world.sched.sleep_for(sim::seconds(600));
+    });
+  }
+  world.sys->run_at(0, [&, k_sites](Mocha& mocha) {
+    world.sched.sleep_for(sim::msec(100));  // after holder registration
+    auto r = replica::Replica::create(mocha, "bulk",
+                                      util::Buffer(payload_bytes),
+                                      k_sites + 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    lk.set_update_replication(k_sites + 1);
+    if (!lk.lock().is_ok()) return;
+    r->byte_data()[0] ^= 1;  // touch the state
+    const sim::Time t0 = world.sched.now();
+    if (!lk.unlock().is_ok()) return;
+    elapsed_ms = sim::to_ms(world.sched.now() - t0);
+  });
+  world.sched.run_until(sim::seconds(590));
+  return elapsed_ms;
+}
+
+// Registers `fn` as a google-benchmark with manual (simulated) time.
+inline void report_sim_time(benchmark::State& state, double sim_ms) {
+  for (auto _ : state) {
+    state.SetIterationTime(sim_ms / 1000.0);
+  }
+  state.counters["sim_ms"] = sim_ms;
+}
+
+}  // namespace mocha::bench

@@ -1,0 +1,14 @@
+// Figure 10: Time for wide area transfer of 1K replicas, milliseconds, 1..6 sites,
+// basic protocol (all MochaNet) vs hybrid protocol (MochaNet control + TCP
+// data). See DESIGN.md for the expected shape.
+#include "bench_transfer.h"
+
+MOCHA_TRANSFER_BENCH(BM_Fig10_WAN_1K,
+                     mocha::net::NetProfile::wan(), 1024);
+
+int main(int argc, char** argv) {
+  mocha::bench::run_transfer_figure(
+      "Figure 10", "Time for wide area transfer of 1K replicas",
+      mocha::net::NetProfile::wan(), 1024, argc, argv);
+  return 0;
+}

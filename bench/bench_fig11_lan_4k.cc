@@ -1,0 +1,14 @@
+// Figure 11: Time for local area transfer of 4K replicas, milliseconds, 1..6 sites,
+// basic protocol (all MochaNet) vs hybrid protocol (MochaNet control + TCP
+// data). See DESIGN.md for the expected shape.
+#include "bench_transfer.h"
+
+MOCHA_TRANSFER_BENCH(BM_Fig11_LAN_4K,
+                     mocha::net::NetProfile::lan(), 4096);
+
+int main(int argc, char** argv) {
+  mocha::bench::run_transfer_figure(
+      "Figure 11", "Time for local area transfer of 4K replicas",
+      mocha::net::NetProfile::lan(), 4096, argc, argv);
+  return 0;
+}

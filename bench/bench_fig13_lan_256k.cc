@@ -1,0 +1,14 @@
+// Figure 13: Time for local area transfer of 256K replicas, milliseconds, 1..6 sites,
+// basic protocol (all MochaNet) vs hybrid protocol (MochaNet control + TCP
+// data). See DESIGN.md for the expected shape.
+#include "bench_transfer.h"
+
+MOCHA_TRANSFER_BENCH(BM_Fig13_LAN_256K,
+                     mocha::net::NetProfile::lan(), 262144);
+
+int main(int argc, char** argv) {
+  mocha::bench::run_transfer_figure(
+      "Figure 13", "Time for local area transfer of 256K replicas",
+      mocha::net::NetProfile::lan(), 262144, argc, argv);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Related-work quantification (paper §6): "In some cases, a RPC/RMI model's
+// performance suffers from the clients need to repeatedly contact a server
+// to perform distributed computation" vs the shared-object model's ability
+// to cache state locally after one transfer.
+//
+// Workload: a client at a remote WAN site reads a 4K catalog N times.
+//   RPC style     — every read is a request/response to the home "server"
+//                   carrying the 4K payload back (no caching).
+//   Shared object — one ReplicaLock acquisition pulls the state; subsequent
+//                   reads hit the local replica (lastLockOwner: no data).
+#include "bench_common.h"
+
+namespace mocha::bench {
+namespace {
+
+constexpr std::size_t kCatalogBytes = 4096;
+
+double rpc_style_ms(int reads) {
+  World world(net::NetProfile::wan(), 2, net::TransferMode::kBasic);
+  double elapsed = -1;
+
+  // The "server": answers catalog requests over MochaNet.
+  world.sys->run_at(0, [&](Mocha& mocha) {
+    auto& endpoint = world.sys->endpoint(0);
+    (void)mocha;
+    while (true) {
+      auto req = endpoint.recv(700);
+      util::WireReader reader(req.payload);
+      const net::Port reply_port = reader.u16();
+      endpoint.send(req.src, reply_port, util::Buffer(kCatalogBytes));
+    }
+  });
+  world.sys->run_at(1, [&, reads](Mocha& mocha) {
+    world.sched.sleep_for(sim::msec(100));
+    auto& endpoint = world.sys->endpoint(1);
+    const sim::Time t0 = world.sched.now();
+    for (int i = 0; i < reads; ++i) {
+      const net::Port reply_port = mocha.alloc_reply_port();
+      util::Buffer req;
+      util::WireWriter writer(req);
+      writer.u16(reply_port);
+      endpoint.send(0, 700, std::move(req));
+      auto reply = endpoint.recv_for(reply_port, sim::seconds(30));
+      if (!reply.has_value()) return;
+    }
+    elapsed = sim::to_ms(world.sched.now() - t0);
+  });
+  world.sched.run_until(sim::seconds(300));
+  return elapsed;
+}
+
+double shared_object_ms(int reads) {
+  replica::ReplicaOptions ropts;
+  World world(net::NetProfile::wan(), 2, net::TransferMode::kBasic, ropts);
+  double elapsed = -1;
+  world.sys->run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "catalog",
+                                      util::Buffer(kCatalogBytes), 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    if (!lk.lock().is_ok()) return;
+    r->byte_data()[0] = 1;  // version 1 exists at home only
+    (void)lk.unlock();
+  });
+  world.sys->run_at(1, [&, reads](Mocha& mocha) {
+    world.sched.sleep_for(sim::msec(300));
+    auto r = replica::Replica::attach(mocha, "catalog");
+    while (!r.is_ok()) {
+      world.sched.sleep_for(sim::msec(50));
+      r = replica::Replica::attach(mocha, "catalog");
+    }
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    const sim::Time t0 = world.sched.now();
+    for (int i = 0; i < reads; ++i) {
+      if (!lk.lock_shared().is_ok()) return;  // first pull, then cache hits
+      benchmark::DoNotOptimize(std::as_const(*r.value()).byte_data()[0]);
+      (void)lk.unlock();
+    }
+    elapsed = sim::to_ms(world.sched.now() - t0);
+  });
+  world.sched.run_until(sim::seconds(300));
+  return elapsed;
+}
+
+void BM_RpcStyle(benchmark::State& state) {
+  report_sim_time(state, rpc_style_ms(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_RpcStyle)->UseManualTime()->Iterations(1)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_SharedObjectStyle(benchmark::State& state) {
+  report_sim_time(state, shared_object_ms(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SharedObjectStyle)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(20);
+
+}  // namespace
+}  // namespace mocha::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== §6 comparison: RPC-style repeated fetch vs shared-object caching "
+      "(4K catalog, WAN) ==\n");
+  std::printf("%-8s %12s %18s %10s\n", "reads", "rpc(ms)",
+              "shared-object(ms)", "speedup");
+  for (int n : {1, 5, 20}) {
+    const double rpc = mocha::bench::rpc_style_ms(n);
+    const double dsm = mocha::bench::shared_object_ms(n);
+    std::printf("%-8d %12.1f %18.1f %9.1fx\n", n, rpc, dsm,
+                dsm > 0 ? rpc / dsm : 0.0);
+  }
+  std::printf("(the crossover: one transfer amortized over many cached reads)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared driver for Figures 9-14: time to disseminate a replica of a given
+// size to 1..6 sites, basic protocol vs hybrid protocol, LAN vs WAN.
+#pragma once
+
+#include "bench_common.h"
+
+namespace mocha::bench {
+
+inline void run_transfer_figure(const char* figure, const char* title,
+                                const net::NetProfile& profile,
+                                std::size_t payload_bytes, int argc,
+                                char** argv) {
+  std::printf("== %s: %s ==\n", figure, title);
+  std::printf("%-8s %14s %14s %10s\n", "sites", "basic(ms)", "hybrid(ms)",
+              "hybrid/basic");
+  for (int k = 1; k <= 6; ++k) {
+    const double basic = run_dissemination_ms(profile, payload_bytes, k,
+                                              net::TransferMode::kBasic);
+    const double hybrid = run_dissemination_ms(profile, payload_bytes, k,
+                                               net::TransferMode::kHybrid);
+    std::printf("%-8d %14.1f %14.1f %9.0f%%\n", k, basic, hybrid,
+                basic > 0 ? 100.0 * hybrid / basic : 0.0);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+}
+
+// google-benchmark registration used by each figure binary.
+#define MOCHA_TRANSFER_BENCH(NAME, PROFILE, BYTES)                            \
+  static void NAME##_Basic(benchmark::State& state) {                        \
+    const double ms = mocha::bench::run_dissemination_ms(                    \
+        PROFILE, BYTES, static_cast<int>(state.range(0)),                    \
+        mocha::net::TransferMode::kBasic);                                   \
+    mocha::bench::report_sim_time(state, ms);                                \
+  }                                                                          \
+  BENCHMARK(NAME##_Basic)                                                    \
+      ->UseManualTime()                                                      \
+      ->Iterations(1)                                                        \
+      ->DenseRange(1, 6);                                                    \
+  static void NAME##_Hybrid(benchmark::State& state) {                       \
+    const double ms = mocha::bench::run_dissemination_ms(                    \
+        PROFILE, BYTES, static_cast<int>(state.range(0)),                    \
+        mocha::net::TransferMode::kHybrid);                                  \
+    mocha::bench::report_sim_time(state, ms);                                \
+  }                                                                          \
+  BENCHMARK(NAME##_Hybrid)->UseManualTime()->Iterations(1)->DenseRange(1, 6)
+
+}  // namespace mocha::bench

@@ -1,0 +1,137 @@
+#include "coord/barrier.h"
+
+namespace mocha::coord {
+
+namespace {
+constexpr sim::Duration kDefaultPoll = sim::msec(25);
+}
+
+// ---------------------------------------------------------------- Barrier --
+
+Barrier::Barrier(runtime::Mocha& mocha,
+                 std::shared_ptr<replica::Replica> state,
+                 replica::LockId lock_id)
+    : mocha_(mocha),
+      state_(std::move(state)),
+      lock_(lock_id, mocha),
+      poll_interval_(kDefaultPoll) {
+  lock_.associate(state_);
+}
+
+util::Result<std::unique_ptr<Barrier>> Barrier::create(
+    runtime::Mocha& mocha, const std::string& name, std::int32_t parties,
+    replica::LockId lock_id) {
+  auto state = replica::Replica::create(
+      mocha, name, std::vector<std::int32_t>{0, 0, parties}, parties);
+  auto barrier =
+      std::unique_ptr<Barrier>(new Barrier(mocha, std::move(state), lock_id));
+  barrier->parties_ = parties;
+  return barrier;
+}
+
+util::Result<std::unique_ptr<Barrier>> Barrier::attach(
+    runtime::Mocha& mocha, const std::string& name, replica::LockId lock_id) {
+  auto state = replica::Replica::attach(mocha, name);
+  if (!state.is_ok()) return state.status();
+  auto barrier = std::unique_ptr<Barrier>(
+      new Barrier(mocha, state.take(), lock_id));
+  // Read the party count published by the creator.
+  util::Status locked = barrier->lock_.lock_shared();
+  if (!locked.is_ok()) return locked;
+  barrier->parties_ = std::as_const(*barrier->state_).int_data()[2];
+  util::Status unlocked = barrier->lock_.unlock();
+  if (!unlocked.is_ok()) return unlocked;
+  return barrier;
+}
+
+std::int64_t Barrier::generation() {
+  if (!lock_.lock_shared().is_ok()) return -1;
+  const std::int32_t gen = std::as_const(*state_).int_data()[1];
+  (void)lock_.unlock();
+  return gen;
+}
+
+util::Status Barrier::arrive_and_wait() {
+  sim::Scheduler& sched = mocha_.system().scheduler();
+
+  util::Status locked = lock_.lock();
+  if (!locked.is_ok()) return locked;
+  auto& s = state_->int_data();
+  const std::int32_t my_generation = s[1];
+  if (++s[0] == parties_) {
+    // Last arrival: open the barrier for this generation.
+    s[0] = 0;
+    s[1] = my_generation + 1;
+    return lock_.unlock();
+  }
+  util::Status unlocked = lock_.unlock();
+  if (!unlocked.is_ok()) return unlocked;
+
+  // Poll the generation under shared locks until the barrier trips — the
+  // paper's own GUI-refresh pattern (§5.1) applied to synchronization.
+  while (true) {
+    sched.sleep_for(poll_interval_);
+    util::Status rlocked = lock_.lock_shared();
+    if (!rlocked.is_ok()) return rlocked;
+    const std::int32_t generation = std::as_const(*state_).int_data()[1];
+    util::Status runlocked = lock_.unlock();
+    if (!runlocked.is_ok()) return runlocked;
+    if (generation != my_generation) return util::Status::ok();
+  }
+}
+
+// -------------------------------------------------------------- Reduction --
+
+Reduction::Reduction(runtime::Mocha& mocha,
+                     std::shared_ptr<replica::Replica> state,
+                     replica::LockId lock_id)
+    : mocha_(mocha),
+      state_(std::move(state)),
+      lock_(lock_id, mocha),
+      poll_interval_(kDefaultPoll) {
+  lock_.associate(state_);
+}
+
+util::Result<std::unique_ptr<Reduction>> Reduction::create(
+    runtime::Mocha& mocha, const std::string& name, std::int32_t parties,
+    replica::LockId lock_id) {
+  auto state = replica::Replica::create(
+      mocha, name,
+      std::vector<double>{0.0, 0.0, static_cast<double>(parties)}, parties);
+  return std::unique_ptr<Reduction>(
+      new Reduction(mocha, std::move(state), lock_id));
+}
+
+util::Result<std::unique_ptr<Reduction>> Reduction::attach(
+    runtime::Mocha& mocha, const std::string& name, replica::LockId lock_id) {
+  auto state = replica::Replica::attach(mocha, name);
+  if (!state.is_ok()) return state.status();
+  return std::unique_ptr<Reduction>(
+      new Reduction(mocha, state.take(), lock_id));
+}
+
+util::Status Reduction::contribute(double value) {
+  util::Status locked = lock_.lock();
+  if (!locked.is_ok()) return locked;
+  auto& s = state_->double_data();
+  s[0] += value;
+  s[1] += 1.0;
+  return lock_.unlock();
+}
+
+util::Result<double> Reduction::await_total() {
+  sim::Scheduler& sched = mocha_.system().scheduler();
+  while (true) {
+    util::Status rlocked = lock_.lock_shared();
+    if (!rlocked.is_ok()) return rlocked;
+    const auto& s = std::as_const(*state_).double_data();
+    const bool complete = s[1] >= s[2];
+    const double total = s[0];
+    util::Status runlocked = lock_.unlock();
+    if (!runlocked.is_ok()) return runlocked;
+    if (complete) return total;
+    sched.sleep_for(poll_interval_);
+  }
+}
+
+}  // namespace mocha::coord

@@ -1,0 +1,80 @@
+// Coordination constructs built ON the shared-object model.
+//
+// Mocha's runtime primitives are "fashioned after constructs for popular
+// local area distributed computing environments such as PVM" (§2). PVM
+// programs lean on group barriers and reductions; these are the Mocha
+// equivalents, implemented purely with Replica + ReplicaLock — a barrier is
+// a lock-guarded {count, generation} pair; waiting threads poll under shared
+// (read-only) locks, exactly the pattern the paper's table-setting GUI uses
+// for its index replicas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replica/lock.h"
+#include "replica/replica.h"
+#include "runtime/system.h"
+
+namespace mocha::coord {
+
+// A reusable distributed barrier for `parties` threads (across any sites).
+// Exactly one thread must construct it with create=true before use; the
+// lock id is derived from a caller-chosen base so several barriers coexist.
+class Barrier {
+ public:
+  // Creates (at the coordinating thread) or attaches (everywhere else).
+  // Throws util-style status via Result on attach failure.
+  static util::Result<std::unique_ptr<Barrier>> create(
+      runtime::Mocha& mocha, const std::string& name, std::int32_t parties,
+      replica::LockId lock_id);
+  static util::Result<std::unique_ptr<Barrier>> attach(
+      runtime::Mocha& mocha, const std::string& name, replica::LockId lock_id);
+
+  // Blocks (in virtual time) until `parties` threads have arrived at this
+  // generation. Reusable: the generation counter advances each trip.
+  util::Status arrive_and_wait();
+
+  std::int32_t parties() const { return parties_; }
+  std::int64_t generation();
+
+ private:
+  Barrier(runtime::Mocha& mocha, std::shared_ptr<replica::Replica> state,
+          replica::LockId lock_id);
+
+  runtime::Mocha& mocha_;
+  std::shared_ptr<replica::Replica> state_;  // int32[]{count, generation, parties}
+  replica::ReplicaLock lock_;
+  std::int32_t parties_ = 0;
+  sim::Duration poll_interval_;
+};
+
+// All-reduce of doubles across `parties` contributors: each calls
+// contribute(); everyone then reads the same total.
+class Reduction {
+ public:
+  static util::Result<std::unique_ptr<Reduction>> create(
+      runtime::Mocha& mocha, const std::string& name, std::int32_t parties,
+      replica::LockId lock_id);
+  static util::Result<std::unique_ptr<Reduction>> attach(
+      runtime::Mocha& mocha, const std::string& name, replica::LockId lock_id);
+
+  // Adds this thread's contribution (once per thread).
+  util::Status contribute(double value);
+
+  // Blocks until all parties have contributed; returns the sum.
+  util::Result<double> await_total();
+
+ private:
+  Reduction(runtime::Mocha& mocha, std::shared_ptr<replica::Replica> state,
+            replica::LockId lock_id);
+
+  runtime::Mocha& mocha_;
+  std::shared_ptr<replica::Replica> state_;  // double[]{sum, contributed, parties}
+  replica::ReplicaLock lock_;
+  sim::Duration poll_interval_;
+};
+
+}  // namespace mocha::coord

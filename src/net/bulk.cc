@@ -1,0 +1,88 @@
+#include "net/bulk.h"
+
+#include "util/log.h"
+
+namespace mocha::net {
+
+const char* transfer_mode_name(TransferMode mode) {
+  return mode == TransferMode::kBasic ? "basic" : "hybrid";
+}
+
+util::Status BulkTransport::send_bulk(NodeId dst, Port port,
+                                      util::Buffer payload,
+                                      sim::Duration timeout) {
+  Network& net = endpoint_.network();
+  if (mode_ == TransferMode::kBasic) {
+    util::Buffer msg;
+    util::WireWriter writer(msg);
+    writer.u8(static_cast<std::uint8_t>(TransferMode::kBasic));
+    writer.raw(payload);
+    return endpoint_.send_sync(dst, port, std::move(msg), timeout);
+  }
+
+  // Hybrid: open a per-transfer listener, propagate its port over MochaNet,
+  // then push the payload down the accepted TCP connection.
+  const Port tcp_port = net.alloc_ephemeral_port(endpoint_.node());
+  TcpListener listener(net, endpoint_.node(), tcp_port);
+
+  util::Buffer ctrl;
+  util::WireWriter writer(ctrl);
+  writer.u8(static_cast<std::uint8_t>(TransferMode::kHybrid));
+  writer.u16(tcp_port);
+  endpoint_.send(dst, port, std::move(ctrl));
+
+  auto conn = listener.accept(timeout);
+  if (!conn.is_ok()) return conn.status();
+  util::Status sent = conn.value()->send_message(payload);
+  if (!sent.is_ok()) return sent;
+  conn.value()->close();
+  return util::Status::ok();
+}
+
+util::Result<MochaNetEndpoint::Message> BulkTransport::recv_bulk(
+    Port port, sim::Duration timeout) {
+  Network& net = endpoint_.network();
+
+  std::optional<MochaNetEndpoint::Message> ctrl;
+  if (timeout == kWaitForever) {
+    ctrl = endpoint_.recv(port);  // block without keeping the sim alive
+    timeout = sim::seconds(120);  // deadline for the announced TCP pull
+  } else {
+    ctrl = endpoint_.recv_for(port, timeout);
+  }
+  const sim::Time deadline = net.scheduler().now() + timeout;
+  if (!ctrl.has_value()) {
+    return util::Status(util::StatusCode::kTimeout, "no bulk transfer arrived");
+  }
+  util::WireReader reader(ctrl->payload);
+  const auto mode = static_cast<TransferMode>(reader.u8());
+  if (mode == TransferMode::kBasic) {
+    MochaNetEndpoint::Message msg;
+    msg.src = ctrl->src;
+    msg.port = ctrl->port;
+    auto body = reader.raw(reader.remaining());
+    msg.payload.assign(body.begin(), body.end());
+    return msg;
+  }
+
+  const Port tcp_port = reader.u16();
+  const sim::Duration remaining =
+      deadline > net.scheduler().now() ? deadline - net.scheduler().now()
+                                       : sim::Duration{1};
+  auto conn = TcpConnection::connect(net, endpoint_.node(), ctrl->src,
+                                     tcp_port, remaining);
+  if (!conn.is_ok()) return conn.status();
+  auto payload = conn.value()->recv_message(
+      deadline > net.scheduler().now() ? deadline - net.scheduler().now()
+                                       : sim::Duration{1});
+  if (!payload.is_ok()) return payload.status();
+  conn.value()->close();
+
+  MochaNetEndpoint::Message msg;
+  msg.src = ctrl->src;
+  msg.port = ctrl->port;
+  msg.payload = payload.take();
+  return msg;
+}
+
+}  // namespace mocha::net

@@ -1,0 +1,49 @@
+// Bulk replica transfer: the paper's two prototypes (§5).
+//
+//   kBasic  — everything over MochaNet (prototype 1).
+//   kHybrid — MochaNet carries a small control message propagating a TCP
+//             port; the payload itself moves over a per-transfer TCP
+//             connection (prototype 2, the "hybrid protocol").
+//
+// The sender listens and the receiver connects, so the control message plus
+// handshake costs land exactly where the paper's description puts them.
+#pragma once
+
+#include "net/mochanet.h"
+#include "net/tcp.h"
+
+namespace mocha::net {
+
+enum class TransferMode : std::uint8_t { kBasic = 0, kHybrid = 1 };
+
+const char* transfer_mode_name(TransferMode mode);
+
+class BulkTransport {
+ public:
+  BulkTransport(MochaNetEndpoint& endpoint, TransferMode mode)
+      : endpoint_(endpoint), mode_(mode) {}
+
+  TransferMode mode() const { return mode_; }
+  void set_mode(TransferMode mode) { mode_ = mode; }
+  MochaNetEndpoint& endpoint() { return endpoint_; }
+
+  // Sends `payload` to (dst, port). Basic: returns after the reliable
+  // MochaNet send is locally complete. Hybrid: returns after the TCP
+  // transfer finishes (kTimeout if the receiver never connects).
+  util::Status send_bulk(NodeId dst, Port port, util::Buffer payload,
+                         sim::Duration timeout);
+
+  // Receives one bulk payload on `port` (performing the TCP pull when the
+  // control message announces a hybrid transfer). Pass kWaitForever to block
+  // indefinitely for the control message (daemon-style loops); the TCP pull
+  // of an announced transfer then uses a generous internal deadline.
+  static constexpr sim::Duration kWaitForever = ~sim::Duration{0};
+  util::Result<MochaNetEndpoint::Message> recv_bulk(Port port,
+                                                    sim::Duration timeout);
+
+ private:
+  MochaNetEndpoint& endpoint_;
+  TransferMode mode_;
+};
+
+}  // namespace mocha::net

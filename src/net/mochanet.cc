@@ -1,0 +1,336 @@
+#include "net/mochanet.h"
+
+#include <cassert>
+
+#include "util/log.h"
+
+namespace mocha::net {
+
+namespace {
+enum class FrameType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+
+// type(1) + seq(8) + frag_idx(4) + frag_count(4) + port(2)
+constexpr std::size_t kFragHeaderBytes = 19;
+}  // namespace
+
+MochaNetEndpoint::MochaNetEndpoint(Network& net, NodeId node)
+    : net_(net), sched_(net.scheduler()), node_(node) {
+  assert(net_.profile().mtu > kFragHeaderBytes);
+  max_fragment_payload_ = net_.profile().mtu - kFragHeaderBytes;
+  wire_box_ = &net_.bind(node_, kWirePort);
+  sched_.spawn("mochanet/" + net_.node_name(node_), [this] { receiver_loop(); });
+}
+
+sim::Mailbox<MochaNetEndpoint::Message>& MochaNetEndpoint::port_box(Port port) {
+  auto it = delivered_.find(port);
+  if (it == delivered_.end()) {
+    it = delivered_
+             .emplace(port, std::make_unique<sim::Mailbox<Message>>(sched_))
+             .first;
+  }
+  return *it->second;
+}
+
+void MochaNetEndpoint::send(NodeId dst, Port port, util::Buffer payload) {
+  send_internal(dst, port, std::move(payload), /*synchronous=*/false);
+}
+
+util::Status MochaNetEndpoint::send_sync(NodeId dst, Port port,
+                                         util::Buffer payload,
+                                         sim::Duration timeout) {
+  std::uint64_t seq = send_internal(dst, port, std::move(payload),
+                                    /*synchronous=*/true);
+  MsgKey key{dst, seq};
+  auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) return util::Status::ok();  // acked instantly
+  std::shared_ptr<Outstanding> out = it->second;
+  const sim::Time deadline = sched_.now() + timeout;
+  while (!out->acked && !out->failed) {
+    const sim::Time now = sched_.now();
+    if (now >= deadline) break;
+    out->waiter->wait_for(deadline - now);
+  }
+  if (out->acked) return util::Status::ok();
+  return util::Status(util::StatusCode::kTimeout,
+                      "no transport ack from '" + net_.node_name(dst) + "'");
+}
+
+std::uint64_t MochaNetEndpoint::send_internal(NodeId dst, Port port,
+                                              util::Buffer payload,
+                                              bool synchronous) {
+  auto [seq_it, unused] = next_seq_out_.try_emplace(dst, 1);
+  const std::uint64_t seq = seq_it->second++;
+
+  const std::size_t total = payload.size();
+  const std::uint32_t frag_count = static_cast<std::uint32_t>(
+      total == 0 ? 1 : (total + max_fragment_payload_ - 1) /
+                           max_fragment_payload_);
+
+  auto out = std::make_shared<Outstanding>();
+  out->retries_left = net_.profile().mn_max_retries;
+  if (synchronous) out->waiter = std::make_unique<sim::Condition>(sched_);
+
+  // Per-message protocol work at the sender (stream setup, header build).
+  sched_.compute(net_.profile().mn_msg_cpu_us);
+
+  for (std::uint32_t i = 0; i < frag_count; ++i) {
+    const std::size_t offset = static_cast<std::size_t>(i) * max_fragment_payload_;
+    const std::size_t len = std::min(max_fragment_payload_, total - offset);
+    Datagram dgram;
+    dgram.src = node_;
+    dgram.dst = dst;
+    dgram.src_port = kWirePort;
+    dgram.dst_port = kWirePort;
+    util::WireWriter writer(dgram.payload);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kData));
+    writer.u64(seq);
+    writer.u32(i);
+    writer.u32(frag_count);
+    writer.u16(port);
+    writer.raw(std::span<const std::uint8_t>(payload.data() + offset, len));
+    out->fragments.push_back(dgram);
+
+    // User-level (interpreted) fragmentation cost, paid inline by the sender.
+    const NetProfile& prof = net_.profile();
+    sched_.compute(prof.mn_frag_cpu_us +
+                   static_cast<sim::Duration>(prof.mn_per_byte_us *
+                                              static_cast<double>(len)));
+    net_.send(std::move(dgram));
+    ++fragments_sent_;
+  }
+  ++messages_sent_;
+
+  MsgKey key{dst, seq};
+  outstanding_.emplace(key, out);
+  arm_retransmit(key);
+  return seq;
+}
+
+void MochaNetEndpoint::arm_retransmit(MsgKey key) {
+  sched_.post_in(net_.profile().mn_rto_us, [this, key] {
+    auto it = outstanding_.find(key);
+    if (it == outstanding_.end()) return;  // acked and reaped
+    std::shared_ptr<Outstanding> out = it->second;
+    if (out->acked) {
+      outstanding_.erase(it);
+      return;
+    }
+    if (out->retries_left-- <= 0) {
+      out->failed = true;
+      if (out->waiter) out->waiter->notify_all();
+      MOCHA_DEBUG("mochanet") << net_.node_name(node_) << ": message seq "
+                              << key.second << " to '"
+                              << net_.node_name(key.first)
+                              << "' failed (retries exhausted)";
+      outstanding_.erase(it);
+      return;
+    }
+    // Retransmission happens off any process context (timer fire); its CPU
+    // cost is negligible next to the RTO and is not modeled.
+    for (const Datagram& frag : out->fragments) {
+      Datagram copy = frag;
+      net_.send(std::move(copy));
+      ++retransmissions_;
+    }
+    arm_retransmit(key);
+  });
+}
+
+void MochaNetEndpoint::receiver_loop() {
+  while (true) {
+    Datagram dgram = wire_box_->recv();
+    util::WireReader reader(dgram.payload);
+    auto type = static_cast<FrameType>(reader.u8());
+    switch (type) {
+      case FrameType::kData:
+        handle_data(dgram, reader);
+        break;
+      case FrameType::kAck:
+        handle_ack(dgram, reader);
+        break;
+      case FrameType::kNack:
+        handle_nack(dgram, reader);
+        break;
+    }
+  }
+}
+
+void MochaNetEndpoint::handle_data(const Datagram& dgram,
+                                   util::WireReader& reader) {
+  const std::uint64_t seq = reader.u64();
+  const std::uint32_t frag_idx = reader.u32();
+  const std::uint32_t frag_count = reader.u32();
+  const Port port = reader.u16();
+  auto chunk = reader.raw(reader.remaining());
+
+  // User-level reassembly cost at the receiver.
+  const NetProfile& prof = net_.profile();
+  sched_.compute(prof.mn_frag_cpu_us +
+                 static_cast<sim::Duration>(prof.mn_per_byte_us *
+                                            static_cast<double>(chunk.size())));
+
+  auto [in_it, unused] = next_seq_in_.try_emplace(dgram.src, 1);
+  if (seq < in_it->second || stashed_.contains({dgram.src, seq})) {
+    // Duplicate of an already-completed message: re-ACK so the sender stops.
+    send_ack(dgram.src, seq);
+    return;
+  }
+
+  MsgKey key{dgram.src, seq};
+  Reassembly& re = reassembly_[key];
+  if (re.frag_count == 0) {
+    re.frag_count = frag_count;
+    re.have.assign(frag_count, false);
+    re.parts.resize(frag_count);
+    re.port = port;
+  }
+  if (frag_idx >= re.frag_count || re.have[frag_idx]) return;  // dup fragment
+  re.have[frag_idx] = true;
+  re.parts[frag_idx].assign(chunk.begin(), chunk.end());
+  re.last_arrival = sched_.now();
+  if (++re.frags_received < re.frag_count) {
+    if (prof.mn_selective_retransmit && !re.nack_armed) {
+      re.nack_armed = true;
+      arm_nack(key);
+    }
+    return;
+  }
+
+  // Message complete: per-message protocol work at the receiver, then ACK
+  // and deliver in per-sender order.
+  sched_.compute(prof.mn_msg_cpu_us);
+  Message msg;
+  msg.src = dgram.src;
+  msg.port = re.port;
+  for (util::Buffer& part : re.parts) {
+    msg.payload.insert(msg.payload.end(), part.begin(), part.end());
+  }
+  reassembly_.erase(key);
+  send_ack(dgram.src, seq);
+  stashed_.emplace(key, std::move(msg));
+  deliver_in_order(dgram.src);
+  if (stashed_.lower_bound({dgram.src, 0}) != stashed_.end() &&
+      stashed_.lower_bound({dgram.src, 0})->first.first == dgram.src) {
+    schedule_gap_skip(dgram.src);
+  }
+}
+
+void MochaNetEndpoint::schedule_gap_skip(NodeId src) {
+  const NetProfile& prof = net_.profile();
+  const sim::Duration gap_timeout =
+      prof.mn_rto_us * static_cast<sim::Duration>(prof.mn_max_retries + 2);
+  const std::uint64_t expected = next_seq_in_[src];
+  sched_.post_in(gap_timeout, [this, src, expected] {
+    std::uint64_t& next = next_seq_in_[src];
+    if (next != expected) return;  // the stream progressed; no hole
+    auto it = stashed_.lower_bound({src, 0});
+    if (it == stashed_.end() || it->first.first != src) return;
+    MOCHA_DEBUG("mochanet") << net_.node_name(node_)
+                            << ": skipping sequence hole " << next << ".."
+                            << it->first.second - 1 << " from '"
+                            << net_.node_name(src) << "'";
+    next = it->first.second;
+    deliver_in_order(src);
+  });
+}
+
+void MochaNetEndpoint::deliver_in_order(NodeId src) {
+  std::uint64_t& next = next_seq_in_[src];
+  while (true) {
+    auto it = stashed_.find({src, next});
+    if (it == stashed_.end()) return;
+    Message msg = std::move(it->second);
+    stashed_.erase(it);
+    ++next;
+    ++messages_delivered_;
+    port_box(msg.port).send(std::move(msg));
+  }
+}
+
+void MochaNetEndpoint::arm_nack(MsgKey key) {
+  sched_.post_in(net_.profile().mn_nack_delay_us, [this, key] {
+    auto it = reassembly_.find(key);
+    if (it == reassembly_.end()) return;  // completed meanwhile
+    Reassembly& re = it->second;
+    // Only NACK once the fragment stream has gone quiet — fragments still
+    // flowing in means the sender is mid-transmission, not that loss struck.
+    if (sched_.now() - re.last_arrival < net_.profile().mn_nack_delay_us) {
+      arm_nack(key);
+      return;
+    }
+    if (re.nacks_sent++ >= net_.profile().mn_max_retries) return;
+
+    Datagram nack;
+    nack.src = node_;
+    nack.dst = key.first;
+    nack.src_port = kWirePort;
+    nack.dst_port = kWirePort;
+    util::WireWriter writer(nack.payload);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kNack));
+    writer.u64(key.second);
+    std::uint32_t missing = 0;
+    for (std::uint32_t i = 0; i < re.frag_count; ++i) {
+      if (!re.have[i]) ++missing;
+    }
+    writer.u32(missing);
+    for (std::uint32_t i = 0; i < re.frag_count && missing > 0; ++i) {
+      if (!re.have[i]) {
+        writer.u32(i);
+        --missing;
+      }
+    }
+    net_.send(std::move(nack));
+    arm_nack(key);  // keep probing until complete or give-up
+  });
+}
+
+void MochaNetEndpoint::handle_nack(const Datagram& dgram,
+                                   util::WireReader& reader) {
+  sched_.compute(net_.profile().mn_ack_cpu_us);
+  const std::uint64_t seq = reader.u64();
+  auto it = outstanding_.find({dgram.src, seq});
+  if (it == outstanding_.end()) return;  // already acked/failed
+  const std::uint32_t missing = reader.u32();
+  for (std::uint32_t i = 0; i < missing; ++i) {
+    const std::uint32_t idx = reader.u32();
+    if (idx >= it->second->fragments.size()) continue;
+    Datagram copy = it->second->fragments[idx];
+    net_.send(std::move(copy));
+    ++retransmissions_;
+  }
+}
+
+void MochaNetEndpoint::send_ack(NodeId dst, std::uint64_t seq) {
+  sched_.compute(net_.profile().mn_ack_cpu_us);
+  Datagram ack;
+  ack.src = node_;
+  ack.dst = dst;
+  ack.src_port = kWirePort;
+  ack.dst_port = kWirePort;
+  util::WireWriter writer(ack.payload);
+  writer.u8(static_cast<std::uint8_t>(FrameType::kAck));
+  writer.u64(seq);
+  net_.send(std::move(ack));
+}
+
+void MochaNetEndpoint::handle_ack(const Datagram& dgram,
+                                  util::WireReader& reader) {
+  sched_.compute(net_.profile().mn_ack_cpu_us);
+  const std::uint64_t seq = reader.u64();
+  auto it = outstanding_.find({dgram.src, seq});
+  if (it == outstanding_.end()) return;
+  it->second->acked = true;
+  if (it->second->waiter) it->second->waiter->notify_all();
+  outstanding_.erase(it);
+}
+
+MochaNetEndpoint::Message MochaNetEndpoint::recv(Port port) {
+  return port_box(port).recv();
+}
+
+std::optional<MochaNetEndpoint::Message> MochaNetEndpoint::recv_for(
+    Port port, sim::Duration timeout) {
+  return port_box(port).recv_for(timeout);
+}
+
+}  // namespace mocha::net

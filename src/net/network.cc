@@ -1,0 +1,158 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mocha::net {
+
+Network::Network(sim::Scheduler& sched, NetProfile profile, std::uint64_t seed)
+    : sched_(sched), profile_(std::move(profile)), rng_(seed) {}
+
+NodeId Network::add_node(std::string name) {
+  Node node;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return node_ref(id).name;
+}
+
+Network::Node& Network::node_ref(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("bad NodeId");
+  return nodes_[id];
+}
+
+const Network::Node& Network::node_ref(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("bad NodeId");
+  return nodes_[id];
+}
+
+sim::Mailbox<Datagram>& Network::bind(NodeId node, Port port) {
+  Node& n = node_ref(node);
+  auto [it, inserted] =
+      n.ports.try_emplace(port, std::make_unique<sim::Mailbox<Datagram>>(sched_));
+  if (!inserted) {
+    throw std::logic_error("port " + std::to_string(port) + " on node '" +
+                           n.name + "' is already bound");
+  }
+  return *it->second;
+}
+
+void Network::unbind(NodeId node, Port port) { node_ref(node).ports.erase(port); }
+
+bool Network::is_bound(NodeId node, Port port) const {
+  return node_ref(node).ports.contains(port);
+}
+
+Port Network::alloc_ephemeral_port(NodeId node) {
+  return node_ref(node).next_ephemeral++;
+}
+
+sim::Duration Network::latency(NodeId a, NodeId b) const {
+  auto it = latency_overrides_.find({a, b});
+  return it != latency_overrides_.end() ? it->second : profile_.latency_us;
+}
+
+void Network::set_latency(NodeId a, NodeId b, sim::Duration latency_us) {
+  latency_overrides_[{a, b}] = latency_us;
+}
+
+void Network::kill_node(NodeId node) {
+  node_ref(node).alive = false;
+  MOCHA_INFO("net") << "node '" << node_ref(node).name << "' killed";
+}
+
+void Network::revive_node(NodeId node) {
+  node_ref(node).alive = true;
+  MOCHA_INFO("net") << "node '" << node_ref(node).name << "' revived";
+}
+
+bool Network::node_alive(NodeId node) const { return node_ref(node).alive; }
+
+void Network::partition(const std::set<NodeId>& group) {
+  partitioned_ = true;
+  partition_group_ = group;
+  MOCHA_INFO("net") << "network partitioned (" << group.size()
+                    << " nodes on one side)";
+}
+
+void Network::heal_partition() {
+  partitioned_ = false;
+  partition_group_.clear();
+  MOCHA_INFO("net") << "partition healed";
+}
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  return partition_group_.contains(a) == partition_group_.contains(b);
+}
+
+void Network::reset_stats() {
+  datagrams_sent_ = 0;
+  datagrams_delivered_ = 0;
+  datagrams_dropped_ = 0;
+  bytes_on_wire_ = 0;
+}
+
+void Network::send(Datagram dgram) {
+  Node& src = node_ref(dgram.src);
+  node_ref(dgram.dst);  // validate
+  if (dgram.payload.size() > profile_.mtu) {
+    throw std::logic_error("datagram payload " +
+                           std::to_string(dgram.payload.size()) +
+                           " exceeds MTU " + std::to_string(profile_.mtu) +
+                           " (fragmentation is the protocol layer's job)");
+  }
+  ++datagrams_sent_;
+  if (tracer_ != nullptr) {
+    tracer_->record(trace::EventKind::kDatagramSent, sched_.now(), dgram.src,
+                    dgram.dst, dgram.dst_port,
+                    dgram.payload.size() + kWireHeaderBytes);
+  }
+  if (!src.alive) {
+    ++datagrams_dropped_;
+    return;
+  }
+
+  const std::size_t wire_bytes = dgram.payload.size() + kWireHeaderBytes;
+  const auto tx_time = static_cast<sim::Duration>(
+      static_cast<double>(wire_bytes) / profile_.bandwidth_bytes_per_us);
+  const sim::Time now = sched_.now();
+  const sim::Time depart = std::max(now, src.egress_free_at) + tx_time;
+  src.egress_free_at = depart;
+  bytes_on_wire_ += wire_bytes;
+
+  if (!dgram.bypass_loss && profile_.loss_rate > 0.0 &&
+      rng_.chance(profile_.loss_rate)) {
+    ++datagrams_dropped_;
+    return;
+  }
+
+  const sim::Time arrive = depart + latency(dgram.src, dgram.dst);
+  sched_.post_at(arrive, [this, dgram = std::move(dgram)]() mutable {
+    Node& dst = nodes_[dgram.dst];
+    if (!dst.alive || !reachable(dgram.src, dgram.dst)) {
+      ++datagrams_dropped_;
+      return;
+    }
+    auto it = dst.ports.find(dgram.dst_port);
+    if (it == dst.ports.end()) {
+      ++datagrams_dropped_;
+      MOCHA_TRACE("net") << "drop to unbound port " << dgram.dst_port
+                         << " on '" << dst.name << "'";
+      return;
+    }
+    ++datagrams_delivered_;
+    if (tracer_ != nullptr) {
+      tracer_->record(trace::EventKind::kDatagramDelivered, sched_.now(),
+                      dgram.src, dgram.dst, dgram.dst_port,
+                      dgram.payload.size() + kWireHeaderBytes);
+    }
+    it->second->send(std::move(dgram));
+  });
+}
+
+}  // namespace mocha::net

@@ -1,0 +1,133 @@
+// Simulated datagram network fabric.
+//
+// Models what the paper's prototype got from the real world: nodes with a
+// rate-limited egress link, per-pair one-way latency, an MTU, optional random
+// loss, and node crashes (a dead node neither sends nor receives — exactly
+// the failure the paper's timeout detection targets).
+//
+// The fabric charges *wire* time only (egress serialization + propagation).
+// Protocol CPU costs (user-level fragmentation, kernel segment handling) are
+// charged by the protocol layers via Scheduler::compute().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/profiles.h"
+#include "sim/mailbox.h"
+#include "sim/scheduler.h"
+#include "trace/tracer.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace mocha::net {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+struct Datagram {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Port src_port = 0;
+  Port dst_port = 0;
+  util::Buffer payload;
+  // Set by protocols that model their own loss recovery as free (SimTcp);
+  // such datagrams are never randomly dropped, only killed with dead nodes.
+  bool bypass_loss = false;
+};
+
+// Fixed per-datagram wire overhead (UDP/IP-ish headers).
+constexpr std::size_t kWireHeaderBytes = 28;
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, NetProfile profile, std::uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const;
+
+  sim::Scheduler& scheduler() { return sched_; }
+  NetProfile& profile() { return profile_; }
+  const NetProfile& profile() const { return profile_; }
+
+  // Binds (node, port); returns the delivery mailbox. Binding an
+  // already-bound port throws (ports are single-owner).
+  sim::Mailbox<Datagram>& bind(NodeId node, Port port);
+  void unbind(NodeId node, Port port);
+  bool is_bound(NodeId node, Port port) const;
+
+  // Allocates a fresh ephemeral port number for `node` (never reused).
+  Port alloc_ephemeral_port(NodeId node);
+
+  // Sends a datagram. Payload must fit the MTU — fragmentation is the
+  // protocol layer's job. Silently dropped when src/dst is dead, the
+  // destination port is unbound at delivery time, or random loss hits.
+  void send(Datagram dgram);
+
+  // --- Fault injection ---
+  void kill_node(NodeId node);
+  void revive_node(NodeId node);
+  bool node_alive(NodeId node) const;
+  void set_loss_rate(double rate) { profile_.loss_rate = rate; }
+  // Overrides one-way latency for the (a -> b) direction only.
+  void set_latency(NodeId a, NodeId b, sim::Duration latency_us);
+
+  // Splits the network: traffic crosses between `group` and its complement
+  // only after heal_partition(). Nodes stay alive — to a timeout-based
+  // failure detector a partitioned peer is indistinguishable from a dead one
+  // (the false-suspicion case the §4 detectors must stay safe under).
+  void partition(const std::set<NodeId>& group);
+  void heal_partition();
+  bool partitioned() const { return partitioned_; }
+  bool reachable(NodeId a, NodeId b) const;
+
+  // Attaches a passive protocol tracer (never alters simulated timing).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() { return tracer_; }
+
+  // --- Statistics ---
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t datagrams_delivered() const { return datagrams_delivered_; }
+  std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+  std::uint64_t bytes_on_wire() const { return bytes_on_wire_; }
+  void reset_stats();
+
+ private:
+  struct Node {
+    std::string name;
+    bool alive = true;
+    sim::Time egress_free_at = 0;  // when the NIC can start the next packet
+    Port next_ephemeral = 40000;
+    std::map<Port, std::unique_ptr<sim::Mailbox<Datagram>>> ports;
+  };
+
+  sim::Duration latency(NodeId a, NodeId b) const;
+  Node& node_ref(NodeId id);
+  const Node& node_ref(NodeId id) const;
+
+  sim::Scheduler& sched_;
+  NetProfile profile_;
+  trace::Tracer* tracer_ = nullptr;
+  util::SplitMix64 rng_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, sim::Duration> latency_overrides_;
+  bool partitioned_ = false;
+  std::set<NodeId> partition_group_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_delivered_ = 0;
+  std::uint64_t datagrams_dropped_ = 0;
+  std::uint64_t bytes_on_wire_ = 0;
+};
+
+}  // namespace mocha::net

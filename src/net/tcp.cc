@@ -1,0 +1,264 @@
+#include "net/tcp.h"
+
+#include "util/log.h"
+
+namespace mocha::net {
+
+namespace {
+enum : std::uint8_t {
+  kSyn = 1,
+  kSynAck = 2,
+  kConnAck = 3,
+  kSegment = 4,
+  kWindowAck = 5,
+  kFin = 6,
+};
+
+constexpr std::size_t kSegmentHeaderBytes = 1;
+}  // namespace
+
+TcpConnection::TcpConnection(Network& net, NodeId local, Port local_port,
+                             NodeId remote, Port remote_port)
+    : net_(net),
+      sched_(net.scheduler()),
+      local_(local),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port) {
+  box_ = &net_.bind(local_, local_port_);
+}
+
+TcpConnection::~TcpConnection() {
+  if (!closed_) close();
+  net_.unbind(local_, local_port_);
+}
+
+void TcpConnection::send_control(std::uint8_t type) {
+  Datagram dgram;
+  dgram.src = local_;
+  dgram.dst = remote_;
+  dgram.src_port = local_port_;
+  dgram.dst_port = remote_port_;
+  dgram.bypass_loss = true;
+  dgram.payload.push_back(type);
+  net_.send(std::move(dgram));
+}
+
+void TcpConnection::send_control(std::uint8_t type, Port port_arg) {
+  Datagram dgram;
+  dgram.src = local_;
+  dgram.dst = remote_;
+  dgram.src_port = local_port_;
+  dgram.dst_port = remote_port_;
+  dgram.bypass_loss = true;
+  util::WireWriter writer(dgram.payload);
+  writer.u8(type);
+  writer.u16(port_arg);
+  net_.send(std::move(dgram));
+}
+
+util::Result<std::unique_ptr<TcpConnection>> TcpConnection::connect(
+    Network& net, NodeId local, NodeId remote, Port remote_port,
+    sim::Duration timeout) {
+  sim::Scheduler& sched = net.scheduler();
+  const NetProfile& prof = net.profile();
+  const Port local_port = net.alloc_ephemeral_port(local);
+
+  // Socket/stream setup cost on the connecting side.
+  sched.compute(prof.tcp_connect_cpu_us);
+
+  auto conn = std::unique_ptr<TcpConnection>(
+      new TcpConnection(net, local, local_port, remote, remote_port));
+  conn->send_control(kSyn, local_port);
+
+  // Await SYN-ACK carrying the server's per-connection port.
+  auto reply = conn->box_->recv_for(timeout);
+  if (!reply.has_value()) {
+    conn->closed_ = true;  // suppress FIN from the destructor
+    return util::Status(util::StatusCode::kTimeout,
+                        "tcp connect to '" + net.node_name(remote) +
+                            "' timed out");
+  }
+  util::WireReader reader(reply->payload);
+  if (reader.u8() != kSynAck) {
+    conn->closed_ = true;
+    return util::Status(util::StatusCode::kUnavailable,
+                        "tcp connect: unexpected handshake frame");
+  }
+  conn->remote_port_ = reader.u16();
+  conn->send_control(kConnAck);
+  return conn;
+}
+
+TcpListener::TcpListener(Network& net, NodeId node, Port port)
+    : net_(net), node_(node), port_(port) {
+  box_ = &net_.bind(node_, port_);
+}
+
+TcpListener::~TcpListener() { net_.unbind(node_, port_); }
+
+util::Result<std::unique_ptr<TcpConnection>> TcpListener::accept(
+    sim::Duration timeout) {
+  sim::Scheduler& sched = net_.scheduler();
+  const NetProfile& prof = net_.profile();
+  const sim::Time deadline = sched.now() + timeout;
+
+  while (true) {
+    const sim::Time now = sched.now();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout, "tcp accept timed out");
+    }
+    auto syn = box_->recv_for(deadline - now);
+    if (!syn.has_value()) {
+      return util::Status(util::StatusCode::kTimeout, "tcp accept timed out");
+    }
+    util::WireReader reader(syn->payload);
+    if (reader.u8() != kSyn) continue;  // stray frame
+    const Port client_port = reader.u16();
+
+    // Accept-side socket/stream setup.
+    sched.compute(prof.tcp_connect_cpu_us);
+    const Port conn_port = net_.alloc_ephemeral_port(node_);
+    auto conn = std::unique_ptr<TcpConnection>(
+        new TcpConnection(net_, node_, conn_port, syn->src, client_port));
+    conn->send_control(kSynAck, conn_port);
+
+    auto ack = conn->box_->recv_for(deadline - sched.now());
+    if (!ack.has_value()) {
+      conn->closed_ = true;
+      return util::Status(util::StatusCode::kTimeout,
+                          "tcp accept: client vanished mid-handshake");
+    }
+    return conn;
+  }
+}
+
+util::Status TcpConnection::send_message(const util::Buffer& payload) {
+  if (closed_ || peer_closed_) {
+    return util::Status(util::StatusCode::kUnavailable, "connection closed");
+  }
+  const NetProfile& prof = net_.profile();
+  const std::size_t mss_payload =
+      std::min(prof.tcp_mss, prof.mtu) - kSegmentHeaderBytes;
+
+  // Frame: 4-byte length prefix + payload bytes, as one byte stream.
+  util::Buffer stream;
+  stream.reserve(payload.size() + 4);
+  {
+    util::WireWriter writer(stream);
+    writer.u32(static_cast<std::uint32_t>(payload.size()));
+    writer.raw(payload);
+  }
+
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t len = std::min(mss_payload, stream.size() - offset);
+
+    // Kernel-native segmentation: cheap per segment.
+    sched_.compute(prof.tcp_segment_cpu_us);
+
+    Datagram seg;
+    seg.src = local_;
+    seg.dst = remote_;
+    seg.src_port = local_port_;
+    seg.dst_port = remote_port_;
+    seg.bypass_loss = true;
+    seg.payload.push_back(kSegment);
+    seg.payload.insert(seg.payload.end(), stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                       stream.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    net_.send(std::move(seg));
+    offset += len;
+    sent_since_ack_ += len;
+
+    // Window full: stall until the receiver's window ack.
+    if (sent_since_ack_ >= prof.tcp_window_bytes && offset < stream.size()) {
+      while (true) {
+        auto frame = box_->recv_for(sim::seconds(30));
+        if (!frame.has_value()) {
+          return util::Status(util::StatusCode::kTimeout,
+                              "window ack never arrived");
+        }
+        const std::uint8_t type = frame->payload.empty() ? 0 : frame->payload[0];
+        if (type == kWindowAck) {
+          sent_since_ack_ -= prof.tcp_window_bytes;
+          break;
+        }
+        if (type == kFin) {
+          peer_closed_ = true;
+          return util::Status(util::StatusCode::kUnavailable,
+                              "peer closed during send");
+        }
+        // Stray frame: ignore.
+      }
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Result<util::Buffer> TcpConnection::recv_message(sim::Duration timeout) {
+  const NetProfile& prof = net_.profile();
+  const sim::Time deadline = sched_.now() + timeout;
+
+  auto have_complete = [this]() -> bool {
+    if (rx_buffer_.size() < 4) return false;
+    util::WireReader reader(rx_buffer_);
+    const std::uint32_t len = reader.u32();
+    return rx_buffer_.size() >= 4 + static_cast<std::size_t>(len);
+  };
+
+  while (!have_complete()) {
+    if (peer_closed_) {
+      return util::Status(util::StatusCode::kUnavailable,
+                          "peer closed mid-message");
+    }
+    const sim::Time now = sched_.now();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout, "tcp recv timed out");
+    }
+    auto frame = box_->recv_for(deadline - now);
+    if (!frame.has_value()) {
+      return util::Status(util::StatusCode::kTimeout, "tcp recv timed out");
+    }
+    if (frame->payload.empty()) continue;
+    switch (frame->payload[0]) {
+      case kSegment: {
+        // Kernel-native reassembly cost.
+        sched_.compute(prof.tcp_segment_cpu_us);
+        rx_buffer_.insert(rx_buffer_.end(), frame->payload.begin() + 1,
+                          frame->payload.end());
+        recvd_since_ack_ += frame->payload.size() - 1;
+        if (recvd_since_ack_ >= prof.tcp_window_bytes) {
+          recvd_since_ack_ -= prof.tcp_window_bytes;
+          sched_.compute(prof.tcp_segment_cpu_us);
+          send_control(kWindowAck);
+        }
+        break;
+      }
+      case kFin:
+        peer_closed_ = true;
+        break;
+      default:
+        break;  // stray handshake frame
+    }
+  }
+
+  util::WireReader reader(rx_buffer_);
+  const std::uint32_t len = reader.u32();
+  util::Buffer message(rx_buffer_.begin() + 4,
+                       rx_buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  rx_buffer_.erase(rx_buffer_.begin(),
+                   rx_buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  return message;
+}
+
+void TcpConnection::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Teardown cost is real and charged to the closer — this is half of why
+  // the hybrid protocol loses on small transfers (Figs 9, 10).
+  sim::Scheduler* sched = sim::Scheduler::current();
+  if (sched != nullptr) sched->compute(net_.profile().tcp_close_cpu_us);
+  if (net_.node_alive(local_)) send_control(kFin);
+}
+
+}  // namespace mocha::net

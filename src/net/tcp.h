@@ -1,0 +1,97 @@
+// Simulated TCP.
+//
+// Models the properties of 1997 kernel TCP that matter for the paper's
+// multiple-protocol comparison (§5):
+//   - explicit connection setup (SYN/SYN-ACK) and teardown (FIN), each with a
+//     nontrivial CPU cost (socket + stream creation was expensive from Java);
+//   - segmentation at native/kernel speed (tcp_segment_cpu_us per segment,
+//     orders of magnitude below MochaNet's interpreted per-fragment cost);
+//   - a fixed flow-control window: the sender stalls one RTT per window.
+//
+// Loss recovery is abstracted: segments bypass the fabric's random loss (as
+// if retransmitted at negligible cost). The fabric's in-order per-pair
+// delivery makes sequencing trivial.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/network.h"
+#include "util/status.h"
+
+namespace mocha::net {
+
+class TcpConnection {
+ public:
+  // Client-side connect: blocks through the handshake. kTimeout when the
+  // remote does not answer (dead node, nobody listening).
+  static util::Result<std::unique_ptr<TcpConnection>> connect(
+      Network& net, NodeId local, NodeId remote, Port remote_port,
+      sim::Duration timeout);
+
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Sends one length-prefixed message, blocking (in virtual time) through
+  // segmentation and window stalls. kUnavailable if the peer closed.
+  util::Status send_message(const util::Buffer& payload);
+
+  // Receives one length-prefixed message.
+  util::Result<util::Buffer> recv_message(sim::Duration timeout);
+
+  // Sends FIN; does not wait for the peer.
+  void close();
+  bool closed() const { return closed_ || peer_closed_; }
+
+  NodeId local_node() const { return local_; }
+  NodeId remote_node() const { return remote_; }
+
+ private:
+  friend class TcpListener;
+  TcpConnection(Network& net, NodeId local, Port local_port, NodeId remote,
+                Port remote_port);
+
+  void send_control(std::uint8_t type);
+  void send_control(std::uint8_t type, Port port_arg);
+
+  Network& net_;
+  sim::Scheduler& sched_;
+  NodeId local_;
+  NodeId remote_;
+  Port local_port_;
+  Port remote_port_;
+  sim::Mailbox<Datagram>* box_ = nullptr;
+  bool closed_ = false;
+  bool peer_closed_ = false;
+
+  // Flow control bookkeeping.
+  std::size_t sent_since_ack_ = 0;
+  std::size_t recvd_since_ack_ = 0;
+  util::Buffer rx_buffer_;  // stream bytes not yet consumed
+};
+
+class TcpListener {
+ public:
+  TcpListener(Network& net, NodeId node, Port port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Accepts one connection (completes the handshake). kTimeout if no SYN or
+  // the client vanishes mid-handshake.
+  util::Result<std::unique_ptr<TcpConnection>> accept(sim::Duration timeout);
+
+  NodeId node() const { return node_; }
+  Port port() const { return port_; }
+
+ private:
+  Network& net_;
+  NodeId node_;
+  Port port_;
+  sim::Mailbox<Datagram>* box_ = nullptr;
+};
+
+}  // namespace mocha::net

@@ -1,0 +1,198 @@
+#include "replica/cached.h"
+
+#include "replica/replica_system.h"
+#include "replica/site_runtime.h"
+#include "replica/wire.h"
+#include "runtime/system.h"
+#include "util/log.h"
+
+namespace mocha::replica {
+
+namespace {
+
+SiteReplicaRuntime& site_runtime_of(runtime::Mocha& mocha) {
+  SiteReplicaRuntime* rt = mocha.replica_runtime();
+  if (rt == nullptr) {
+    throw std::logic_error(
+        "no ReplicaSystem installed: construct replica::ReplicaSystem after "
+        "adding sites");
+  }
+  return *rt;
+}
+
+serial::Value decode_value_buffer(const util::Buffer& blob) {
+  util::WireReader reader(blob);
+  return serial::decode_value(reader);
+}
+
+}  // namespace
+
+ConflictResolver last_writer_wins() {
+  return [](const serial::Value& mine, const serial::Value& theirs) {
+    // Deterministic without inspecting contents: prefer the larger encoding,
+    // then the lexicographically larger one. Commutative by construction.
+    util::Buffer a, b;
+    {
+      util::WireWriter wa(a), wb(b);
+      serial::encode_value(wa, mine);
+      serial::encode_value(wb, theirs);
+    }
+    if (a.size() != b.size()) return a.size() > b.size() ? mine : theirs;
+    return a >= b ? mine : theirs;
+  };
+}
+
+CachedReplica::CachedReplica(runtime::Mocha& mocha, std::string name)
+    : mocha_(mocha),
+      site_(site_runtime_of(mocha)),
+      reply_port_(mocha.alloc_reply_port()),
+      name_(std::move(name)) {}
+
+util::Buffer CachedReplica::encode_value() const {
+  util::Buffer blob;
+  util::WireWriter writer(blob);
+  serial::encode_value(writer, value_);
+  return blob;
+}
+
+void CachedReplica::mutate(const std::function<void(serial::Value&)>& update) {
+  update(value_);
+  vv_.bump(site_.site());
+}
+
+util::Result<std::unique_ptr<CachedReplica>> CachedReplica::create(
+    runtime::Mocha& mocha, const std::string& name, serial::Value initial) {
+  auto replica =
+      std::unique_ptr<CachedReplica>(new CachedReplica(mocha, name));
+  replica->value_ = std::move(initial);
+  replica->vv_.bump(replica->site_.site());
+  util::Status published = replica->publish();
+  if (!published.is_ok()) return published;
+  return replica;
+}
+
+util::Result<std::unique_ptr<CachedReplica>> CachedReplica::attach(
+    runtime::Mocha& mocha, const std::string& name) {
+  auto replica =
+      std::unique_ptr<CachedReplica>(new CachedReplica(mocha, name));
+  util::Status refreshed = replica->refresh();
+  if (!refreshed.is_ok()) return refreshed;
+  return replica;
+}
+
+util::Status CachedReplica::publish() {
+  ReplicaSystem& system = site_.system();
+  net::MochaNetEndpoint& endpoint = system.endpoint(site_.site());
+  const serial::MarshalCostModel& model = system.options().marshal_model;
+
+  // A conflicting peer publish can race ours repeatedly; bound the retries.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    util::Buffer blob = encode_value();
+    serial::charge_marshal_cost(model, blob.size());
+
+    // Reuse the instance's reply port; drain any stragglers first.
+    while (endpoint.recv_for(reply_port_, 0).has_value()) {
+    }
+    const net::Port reply_port = reply_port_;
+    util::Buffer msg;
+    util::WireWriter writer(msg);
+    writer.u8(kPublishCached);
+    writer.str(name_);
+    writer.u32(site_.site());
+    writer.u16(reply_port);
+    vv_.encode(writer);
+    writer.bytes(blob);
+    endpoint.send(site_.sync_site(), runtime::ports::kSync, std::move(msg));
+
+    auto reply =
+        endpoint.recv_for(reply_port, system.options().grant_timeout);
+    if (!reply.has_value()) {
+      return util::Status(util::StatusCode::kTimeout,
+                          "publish of '" + name_ + "': directory unreachable");
+    }
+    util::WireReader reader(reply->payload);
+    if (reader.u8() != kPublishReply) {
+      return util::Status(util::StatusCode::kInvalid, "bad publish reply");
+    }
+    if (reader.boolean()) {
+      ++publishes_;
+      return util::Status::ok();
+    }
+
+    // Conflict detected: the directory holds a state we have not seen.
+    VersionVector their_vv = VersionVector::decode(reader);
+    util::Buffer their_blob = reader.bytes();
+    serial::charge_marshal_cost(model, their_blob.size());
+    const serial::Value theirs = decode_value_buffer(their_blob);
+    value_ = resolver_(value_, theirs);
+    vv_.merge_max(their_vv);
+    vv_.bump(site_.site());  // the merge is a new state that dominates both
+    ++conflicts_resolved_;
+    MOCHA_DEBUG("cached") << "'" << name_ << "': publish conflict at site "
+                          << site_.site() << ", resolved and retrying";
+  }
+  return util::Status(util::StatusCode::kUnavailable,
+                      "publish of '" + name_ +
+                          "' kept conflicting; giving up after 8 rounds");
+}
+
+void CachedReplica::adopt(const serial::Value& theirs,
+                          const VersionVector& their_vv) {
+  value_ = theirs;
+  vv_ = their_vv;
+}
+
+util::Status CachedReplica::refresh() {
+  ReplicaSystem& system = site_.system();
+  net::MochaNetEndpoint& endpoint = system.endpoint(site_.site());
+  const serial::MarshalCostModel& model = system.options().marshal_model;
+
+  while (endpoint.recv_for(reply_port_, 0).has_value()) {
+  }
+  const net::Port reply_port = reply_port_;
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kRefreshCached);
+  writer.str(name_);
+  writer.u32(site_.site());
+  writer.u16(reply_port);
+  endpoint.send(site_.sync_site(), runtime::ports::kSync, std::move(msg));
+
+  auto reply = endpoint.recv_for(reply_port, system.options().grant_timeout);
+  if (!reply.has_value()) {
+    return util::Status(util::StatusCode::kTimeout,
+                        "refresh of '" + name_ + "': directory unreachable");
+  }
+  util::WireReader reader(reply->payload);
+  if (reader.u8() != kRefreshReply) {
+    return util::Status(util::StatusCode::kInvalid, "bad refresh reply");
+  }
+  if (!reader.boolean()) {
+    return util::Status(util::StatusCode::kNotFound,
+                        "no cached object named '" + name_ + "'");
+  }
+  VersionVector their_vv = VersionVector::decode(reader);
+  util::Buffer their_blob = reader.bytes();
+  serial::charge_marshal_cost(model, their_blob.size());
+  ++refreshes_;
+
+  switch (vv_.compare(their_vv)) {
+    case VersionVector::Order::kBefore:
+      adopt(decode_value_buffer(their_blob), their_vv);
+      break;
+    case VersionVector::Order::kEqual:
+    case VersionVector::Order::kAfter:
+      break;  // we already have everything the directory has (or more)
+    case VersionVector::Order::kConcurrent: {
+      const serial::Value theirs = decode_value_buffer(their_blob);
+      value_ = resolver_(value_, theirs);
+      vv_.merge_max(their_vv);
+      vv_.bump(site_.site());
+      ++conflicts_resolved_;
+      break;
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace mocha::replica

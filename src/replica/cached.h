@@ -1,0 +1,98 @@
+// Non-synchronization-based consistency (paper §7: "Currently, we are
+// focusing on providing support for applications which require
+// non-synchronization based solutions for maintaining consistency").
+//
+// A CachedReplica is updated locally *without any lock*; consistency comes
+// from explicit synchronization points in the Bayou/Coda/Rover style (§6):
+//
+//   publish() — push the local value (with its version vector) to the home
+//               directory; a concurrent remote update is *detected* and
+//               handed to the application's ConflictResolver, after which
+//               the merged value is pushed;
+//   refresh() — pull the directory's current value; fast-forward when it
+//               dominates, resolve when concurrent.
+//
+// This is exactly the complement of ReplicaLock entry consistency: the
+// table-setting app's cached images already live outside the lock; this
+// layer adds principled update support for such objects.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "replica/version_vector.h"
+#include "net/network.h"
+#include "serial/value.h"
+#include "util/status.h"
+
+namespace mocha::runtime {
+class Mocha;
+}
+
+namespace mocha::replica {
+
+class SiteReplicaRuntime;
+
+// Merges two concurrent states into one; must be deterministic and
+// commutative so every site converges regardless of resolution order.
+// Receives (mine, theirs) and returns the merged value.
+using ConflictResolver =
+    std::function<serial::Value(const serial::Value& mine,
+                                const serial::Value& theirs)>;
+
+// Deterministic default: keep the value whose version vector did more work
+// (larger total), breaking ties toward `theirs`. Loses one side's update —
+// applications with mergeable state should install a real resolver.
+ConflictResolver last_writer_wins();
+
+class CachedReplica {
+ public:
+  // Creates and publishes the object in the home directory.
+  static util::Result<std::unique_ptr<CachedReplica>> create(
+      runtime::Mocha& mocha, const std::string& name, serial::Value initial);
+  // Attaches to an existing cached object, pulling its current state.
+  static util::Result<std::unique_ptr<CachedReplica>> attach(
+      runtime::Mocha& mocha, const std::string& name);
+
+  const std::string& name() const { return name_; }
+  const VersionVector& version() const { return vv_; }
+
+  // Local, lock-free access. Reads see the cached state; mutate() applies an
+  // update and advances this site's version-vector entry.
+  const serial::Value& value() const { return value_; }
+  void mutate(const std::function<void(serial::Value&)>& update);
+
+  // Synchronization points.
+  util::Status publish();
+  util::Status refresh();
+
+  void set_resolver(ConflictResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  // --- statistics ---
+  std::uint64_t conflicts_resolved() const { return conflicts_resolved_; }
+  std::uint64_t publishes() const { return publishes_; }
+  std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  CachedReplica(runtime::Mocha& mocha, std::string name);
+
+  void adopt(const serial::Value& theirs, const VersionVector& their_vv);
+  util::Buffer encode_value() const;
+
+  runtime::Mocha& mocha_;
+  SiteReplicaRuntime& site_;
+  net::Port reply_port_ = 0;  // one reusable reply port per instance
+  std::string name_;
+  serial::Value value_;
+  VersionVector vv_;
+  ConflictResolver resolver_ = last_writer_wins();
+
+  std::uint64_t conflicts_resolved_ = 0;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace mocha::replica

@@ -1,0 +1,79 @@
+// MochaGen equivalents (paper §2.1.2, Fig 4).
+//
+// The Java prototype ships a tool, MochaGen, that generates a Replica
+// subclass wrapping a complex object, with serialize()/unserialize()
+// overridden appropriately. In C++ the same ergonomics come from a template:
+//
+//   struct TableComment { std::string text; ... };   // any default-
+//   // constructible type with serialize/unserialize/type_name hooks, or
+//   // wrap a value type with MOCHA_GENERATED_FIELDS below.
+//
+//   using StringReplica = GeneratedReplica<SharedString>;
+//   auto r = StringReplica::create(mocha, "text", {"Hello World"}, 5);
+//   r->get(mocha).value = "Good Choice";   // guarded access
+//
+// SharedString is provided since the paper's running example shares a
+// java.lang.String.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "replica/replica.h"
+#include "runtime/system.h"
+
+namespace mocha::replica {
+
+// Typed facade over an object Replica holding a Serializable of type T.
+template <typename T>
+class GeneratedReplica {
+ public:
+  // Creates and publishes (the generated custom constructor of Fig 4).
+  static std::shared_ptr<Replica> create(runtime::Mocha& mocha,
+                                         const std::string& name, T initial,
+                                         int num_copies) {
+    return Replica::create_object(mocha, name,
+                                  std::make_unique<T>(std::move(initial)),
+                                  num_copies);
+  }
+
+  // Gets a replica of an existing shared object (second Fig 4 constructor).
+  static util::Result<std::shared_ptr<Replica>> attach(
+      runtime::Mocha& mocha, const std::string& name) {
+    return Replica::attach(mocha, name);
+  }
+
+  // Typed access to the shared object (entry-consistency guarded).
+  static T& get(Replica& replica) { return replica.object_as<T>(); }
+};
+
+// Registers a Serializable type so remote sites can rebuild received objects
+// they have never instantiated (the data-object half of dynamic loading).
+// Place at namespace scope in exactly one header or source file per type:
+//   MOCHA_REGISTER_SERIALIZABLE(MyType, "myapp.MyType");
+#define MOCHA_REGISTER_SERIALIZABLE(Type, Name)                       \
+  inline const ::mocha::serial::TypeRegistration<Type>                \
+      mocha_register_##Type {                                         \
+    Name                                                              \
+  }
+
+// The paper's StringReplica example: a shared java.lang.String.
+struct SharedString : serial::Serializable {
+  std::string value;
+
+  SharedString() = default;
+  explicit SharedString(std::string v) : value(std::move(v)) {}
+
+  std::string type_name() const override { return "mocha.SharedString"; }
+  void serialize(util::WireWriter& out) const override { out.str(value); }
+  void unserialize(util::WireReader& in) override { value = in.str(); }
+  std::unique_ptr<serial::Serializable> clone() const override {
+    return std::make_unique<SharedString>(*this);
+  }
+};
+
+MOCHA_REGISTER_SERIALIZABLE(SharedString, "mocha.SharedString");
+
+using StringReplica = GeneratedReplica<SharedString>;
+
+}  // namespace mocha::replica

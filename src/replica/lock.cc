@@ -1,0 +1,296 @@
+#include "replica/lock.h"
+
+#include <algorithm>
+
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "util/log.h"
+
+namespace mocha::replica {
+
+namespace {
+
+SiteReplicaRuntime& site_runtime_of(runtime::Mocha& mocha) {
+  SiteReplicaRuntime* rt = mocha.replica_runtime();
+  if (rt == nullptr) {
+    throw std::logic_error(
+        "no ReplicaSystem installed: construct replica::ReplicaSystem after "
+        "adding sites");
+  }
+  return *rt;
+}
+
+}  // namespace
+
+ReplicaLock::ReplicaLock(LockId lock_id, runtime::Mocha& mocha)
+    : id_(lock_id),
+      mocha_(mocha),
+      site_(site_runtime_of(mocha)),
+      local_(site_.lock_local(lock_id)) {
+  if (local_.grant_port == 0) {
+    // First ReplicaLock for this id at this site: allocate the per-lock
+    // grant/data reply ports and register this site as a replica holder
+    // with the synchronization thread.
+    local_.grant_port = mocha_.alloc_reply_port();
+    local_.data_port = mocha_.alloc_reply_port();
+    util::Buffer msg;
+    util::WireWriter writer(msg);
+    writer.u8(kRegisterLock);
+    writer.u32(id_);
+    writer.u32(site_.site());
+    site_.system().endpoint(site_.site()).send(site_.sync_site(),
+                                               runtime::ports::kSync,
+                                               std::move(msg));
+  }
+}
+
+void ReplicaLock::associate(const std::shared_ptr<Replica>& replica) {
+  auto& names = local_.replica_names;
+  if (std::find(names.begin(), names.end(), replica->name()) == names.end()) {
+    names.push_back(replica->name());
+  }
+  replica->set_guard(&local_);
+}
+
+void ReplicaLock::set_update_replication(int ur) {
+  local_.ur = std::max(1, ur);
+}
+
+int ReplicaLock::update_replication() const { return local_.ur; }
+
+bool ReplicaLock::held() const { return local_.held; }
+
+Version ReplicaLock::version() const { return local_.version; }
+
+util::Status ReplicaLock::lock(sim::Duration expected_hold) {
+  return lock_internal(expected_hold, /*shared=*/false);
+}
+
+util::Status ReplicaLock::lock_shared(sim::Duration expected_hold) {
+  return lock_internal(expected_hold, /*shared=*/true);
+}
+
+util::Status ReplicaLock::lock_internal(sim::Duration expected_hold,
+                                        bool shared) {
+  ReplicaSystem& system = site_.system();
+  const ReplicaOptions& opts = system.options();
+  net::MochaNetEndpoint& endpoint = system.endpoint(site_.site());
+
+  // Paper Fig 5: local threads serialize before talking to the sync thread.
+  while (local_.busy) local_.local_waiters->wait();
+  local_.busy = true;
+
+  auto fail = [this](util::Status status) {
+    local_.busy = false;
+    local_.local_waiters->notify_one();
+    return status;
+  };
+
+  const sim::Time t_request = system.scheduler().now();
+
+  // Drain leftovers from earlier cycles (a stale grant after a timed-out
+  // acquire, or a duplicate transfer whose directive ACK was lost) so they
+  // cannot be mistaken for this cycle's replies.
+  while (endpoint.recv_for(local_.grant_port, 0).has_value()) {
+  }
+  while (endpoint.recv_for(local_.data_port, 0).has_value()) {
+  }
+
+  // A fresh nonce per ACQUIRE: grants echoing any other nonce are stale
+  // (e.g. from a partitioned previous sync incarnation) and are discarded.
+  std::uint64_t nonce = 0;
+  auto send_acquire = [&](runtime::SiteId sync_site) {
+    nonce = site_.next_nonce();
+    util::Buffer request;
+    util::WireWriter writer(request);
+    writer.u8(kAcquireLock);
+    writer.u32(id_);
+    writer.u32(site_.site());
+    writer.u16(local_.grant_port);
+    writer.u16(local_.data_port);
+    writer.u64(expected_hold != 0 ? expected_hold
+                                  : opts.default_expected_hold);
+    writer.u8(shared ? 1 : 0);  // LockMode
+    writer.u64(nonce);
+    endpoint.send(sync_site, runtime::ports::kSync, std::move(request));
+  };
+  auto await_grant = [&]() -> std::optional<net::MochaNetEndpoint::Message> {
+    const sim::Time deadline = system.scheduler().now() + opts.grant_timeout;
+    while (system.scheduler().now() < deadline) {
+      auto msg = endpoint.recv_for(local_.grant_port,
+                                   deadline - system.scheduler().now());
+      if (!msg.has_value()) return std::nullopt;
+      util::WireReader peek(msg->payload);
+      if (peek.u8() != kGrant) continue;
+      peek.u32();  // lock id
+      if (peek.u64() != nonce) continue;  // stale grant: discard
+      return msg;
+    }
+    return std::nullopt;
+  };
+
+  runtime::SiteId sync_site = site_.sync_site();
+  send_acquire(sync_site);
+  auto grant = await_grant();
+  if (!grant.has_value()) {
+    // §4 recovery: the synchronization thread may have failed over while our
+    // request was pending. The local daemon knows the surrogate's location
+    // if it saw the announcement; a node that was down during the broadcast
+    // asks its peers. Retrying is safe: the old request died with the old
+    // sync thread.
+    if (site_.sync_site() == sync_site && opts.enable_sync_recovery) {
+      (void)site_.discover_sync_site(mocha_.alloc_reply_port(),
+                                     opts.grant_timeout);
+    }
+    if (site_.sync_site() != sync_site) {
+      sync_site = site_.sync_site();
+      send_acquire(sync_site);
+      grant = await_grant();
+    }
+  }
+  if (!grant.has_value()) {
+    return fail(util::Status(util::StatusCode::kTimeout,
+                             "lock " + std::to_string(id_) +
+                                 ": no GRANT from synchronization thread"));
+  }
+  local_.last_grant_latency = system.scheduler().now() - t_request;
+  local_.last_transfer_latency = 0;
+  util::WireReader reader(grant->payload);
+  reader.u8();   // kGrant (validated by await_grant)
+  reader.u32();  // lock id echo
+  reader.u64();  // nonce echo (validated by await_grant)
+  const Version version = reader.u64();
+  const auto flag = static_cast<GrantFlag>(reader.u8());
+  const std::uint32_t holder_count = reader.u32();
+  local_.holders.clear();
+  for (std::uint32_t i = 0; i < holder_count; ++i) {
+    local_.holders.push_back(reader.u32());
+  }
+
+  if (flag == GrantFlag::kRejected) {
+    return fail(util::Status(
+        util::StatusCode::kRejected,
+        "site is blacklisted after a broken lock (failed while owning)"));
+  }
+
+  if (flag == GrantFlag::kNeedNewVersion) {
+    // A daemon (the last owner's, or a poll-selected survivor) transfers the
+    // replicas directly into this thread's address space.
+    const sim::Time t_grant = system.scheduler().now();
+    net::BulkTransport bulk(endpoint, system.transfer_mode());
+    auto data = bulk.recv_bulk(local_.data_port, opts.data_timeout);
+    if (!data.is_ok()) {
+      return fail(util::Status(util::StatusCode::kTimeout,
+                               "lock " + std::to_string(id_) +
+                                   ": replica transfer never arrived (" +
+                                   data.status().to_string() + ")"));
+    }
+    util::WireReader data_reader(data.value().payload);
+    data_reader.u32();  // lock id
+    const Version data_version = data_reader.u64();
+    site_.unmarshal_bundle(data_reader.raw(data_reader.remaining()));
+    local_.version = data_version;
+    local_.last_transfer_latency = system.scheduler().now() - t_grant;
+  } else {
+    local_.version = version;
+  }
+
+  local_.held = true;
+  local_.shared = shared;
+  return util::Status::ok();
+}
+
+util::Status ReplicaLock::unlock() {
+  if (!local_.held) {
+    return util::Status(util::StatusCode::kInvalid,
+                        "unlock() without a held lock");
+  }
+  ReplicaSystem& system = site_.system();
+  const ReplicaOptions& opts = system.options();
+  net::MochaNetEndpoint& endpoint = system.endpoint(site_.site());
+  const bool shared = local_.shared;
+
+  // Shared releases publish nothing: no version bump, no dissemination.
+  const Version new_version = shared ? local_.version : local_.version + 1;
+  local_.version = new_version;
+  if (!shared) {
+    for (const std::string& name : local_.replica_names) {
+      if (auto replica = site_.find_replica(name)) {
+        replica->set_version(new_version);
+      }
+    }
+  }
+  local_.held = false;
+  local_.shared = false;
+
+  // Push-based update dissemination (§4): ship the new state to UR-1 other
+  // registered holders before releasing, choosing replacements when a
+  // target has failed.
+  std::vector<runtime::SiteId> up_to_date{site_.site()};
+  if (!shared && local_.ur > 1 && !local_.replica_names.empty()) {
+    util::Buffer bundle = site_.marshal_bundle(local_);
+    util::Buffer data;
+    util::WireWriter writer(data);
+    writer.u32(id_);
+    writer.u64(new_version);
+    writer.raw(bundle);
+
+    net::BulkTransport bulk(endpoint, system.transfer_mode());
+    int needed = local_.ur - 1;
+    for (runtime::SiteId target : local_.holders) {
+      if (needed == 0) break;
+      if (target == site_.site()) continue;
+      util::Status sent = bulk.send_bulk(target, kDaemonDataPort, data,
+                                         opts.disseminate_timeout);
+      if (sent.is_ok()) {
+        up_to_date.push_back(target);
+        --needed;
+      } else {
+        // Failure detected while disseminating: skip to the next candidate
+        // daemon (§4, failure of non-lock-owning thread).
+        MOCHA_INFO("lock") << "dissemination to site " << target
+                           << " failed, choosing replacement: "
+                           << sent.to_string();
+      }
+    }
+  }
+
+  auto build_release = [&] {
+    util::Buffer release;
+    util::WireWriter writer(release);
+    writer.u8(kReleaseLock);
+    writer.u32(id_);
+    writer.u32(site_.site());
+    writer.u64(new_version);
+    writer.u32(static_cast<std::uint32_t>(up_to_date.size()));
+    for (runtime::SiteId s : up_to_date) writer.u32(s);
+    writer.u8(shared ? 1 : 0);  // LockMode
+    return release;
+  };
+  if (opts.enable_sync_recovery) {
+    // The release must reach a live synchronization thread or its version is
+    // lost across a failover; wait for the transport ack and re-route via
+    // the local daemon's knowledge on silence.
+    util::Status sent =
+        endpoint.send_sync(site_.sync_site(), runtime::ports::kSync,
+                           build_release(), opts.transfer_timeout);
+    if (!sent.is_ok()) {
+      // Give the watchdog time to promote the surrogate, then re-route to
+      // wherever the local daemon now says the sync thread lives.
+      system.scheduler().sleep_for(
+          opts.sync_probe_interval *
+          static_cast<sim::Duration>(opts.sync_probe_misses + 1));
+      endpoint.send(site_.sync_site(), runtime::ports::kSync, build_release());
+    }
+  } else {
+    endpoint.send(site_.sync_site(), runtime::ports::kSync, build_release());
+  }
+
+  // Paper Fig 5: notify a waiting local thread; no local handoff — it must
+  // go through the sync thread so acquisition stays fair.
+  local_.busy = false;
+  local_.local_waiters->notify_one();
+  return util::Status::ok();
+}
+
+}  // namespace mocha::replica

@@ -1,0 +1,69 @@
+// ReplicaLock — the synchronization object guarding a set of Replicas
+// (paper §2.1.1, Fig 5). Acquiring the lock makes the associated replicas
+// consistent (entry consistency); releasing it publishes the new version
+// and, when UR > 1, push-disseminates the updated state to other replica
+// holders for availability (§4).
+#pragma once
+
+#include <memory>
+
+#include "replica/replica.h"
+#include "replica/site_runtime.h"
+#include "replica/wire.h"
+
+namespace mocha::replica {
+
+class ReplicaLock {
+ public:
+  // `lock_id` identifies the lock system-wide; threads at different sites
+  // construct ReplicaLocks with the same id to share it.
+  ReplicaLock(LockId lock_id, runtime::Mocha& mocha);
+
+  LockId id() const { return id_; }
+
+  // Associates a replica with this lock (local operation; every sharing
+  // site performs its own associations, in the same order).
+  void associate(const std::shared_ptr<Replica>& replica);
+
+  // Acquires the lock exclusively; on return the associated replicas are
+  // consistent and may be accessed/updated. `expected_hold` feeds the sync
+  // thread's lease-based failure detector (§4); 0 uses the configured
+  // default. Errors: kRejected (blacklisted site), kTimeout (home
+  // unreachable).
+  util::Status lock(sim::Duration expected_hold = 0);
+
+  // Acquires the lock in shared (read-only) mode — the extension the paper
+  // notes the basic algorithm easily supports (§3). Multiple sites may read
+  // concurrently; replicas are consistent but writes are rejected.
+  util::Status lock_shared(sim::Duration expected_hold = 0);
+
+  // Releases the lock. Exclusive releases publish the new version,
+  // disseminating to UR-1 other holders first when the availability knob is
+  // raised; shared releases publish nothing.
+  util::Status unlock();
+
+  // Availability knob (§4): number of up-to-date copies maintained at
+  // release time. 1 = only the releaser holds the newest state.
+  void set_update_replication(int ur);
+  int update_replication() const;
+
+  bool held() const;
+  Version version() const;
+
+  // Componentwise costs of the most recent lock() (see §5 benches):
+  // request-to-GRANT, and GRANT-to-replica-data when a transfer happened.
+  sim::Duration last_grant_latency() const { return local_.last_grant_latency; }
+  sim::Duration last_transfer_latency() const {
+    return local_.last_transfer_latency;
+  }
+
+ private:
+  util::Status lock_internal(sim::Duration expected_hold, bool shared);
+
+  LockId id_;
+  runtime::Mocha& mocha_;
+  SiteReplicaRuntime& site_;
+  LockLocal& local_;
+};
+
+}  // namespace mocha::replica

@@ -1,0 +1,252 @@
+#include "replica/replica.h"
+
+#include "replica/replica_system.h"
+#include "replica/site_runtime.h"
+#include "runtime/system.h"
+#include "util/log.h"
+
+namespace mocha::replica {
+
+namespace {
+
+SiteReplicaRuntime& site_runtime_of(runtime::Mocha& mocha) {
+  SiteReplicaRuntime* rt = mocha.replica_runtime();
+  if (rt == nullptr) {
+    throw std::logic_error(
+        "no ReplicaSystem installed: construct replica::ReplicaSystem after "
+        "adding sites");
+  }
+  return *rt;
+}
+
+enum class PayloadKind : std::uint8_t { kValue = 0, kObject = 1 };
+
+// Publishes a freshly created replica to the sync service at home, carrying
+// its type and initial contents so later attachers can be served.
+void publish(SiteReplicaRuntime& site, const Replica& replica,
+             int num_copies) {
+  util::Buffer payload = replica.marshal_payload();
+  serial::charge_marshal_cost(site.system().options().marshal_model,
+                              payload.size());
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kRegisterReplica);
+  writer.str(replica.name());
+  writer.u32(site.site());
+  writer.str(replica.type_name());
+  writer.u32(static_cast<std::uint32_t>(num_copies));
+  writer.bytes(payload);
+  site.system().endpoint(site.site()).send(site.sync_site(),
+                                           runtime::ports::kSync,
+                                           std::move(msg));
+}
+
+}  // namespace
+
+Replica::Replica(std::string name, serial::Value value)
+    : name_(std::move(name)), value_(std::move(value)) {}
+
+Replica::Replica(std::string name,
+                 std::unique_ptr<serial::Serializable> object)
+    : name_(std::move(name)), object_(std::move(object)) {}
+
+void Replica::check_access(bool for_write) const {
+  if (guard_ == nullptr) return;
+  if (!guard_->held) {
+    throw EntryConsistencyError(
+        "replica '" + name_ +
+        "' is lock-guarded; access it only between lock() and unlock()");
+  }
+  if (for_write && guard_->shared) {
+    throw EntryConsistencyError(
+        "replica '" + name_ +
+        "' may not be modified under a shared (read-only) lock");
+  }
+}
+
+template <typename T>
+T& Replica::typed_data(const char* wanted, bool for_write) {
+  check_access(for_write);
+  auto* data = std::get_if<T>(&value_);
+  if (data == nullptr) {
+    throw EntryConsistencyError("replica '" + name_ + "' is not " +
+                                std::string(wanted));
+  }
+  return *data;
+}
+
+template <typename T>
+const T& Replica::typed_data(const char* wanted) const {
+  check_access(/*for_write=*/false);
+  const auto* data = std::get_if<T>(&value_);
+  if (data == nullptr) {
+    throw EntryConsistencyError("replica '" + name_ + "' is not " +
+                                std::string(wanted));
+  }
+  return *data;
+}
+
+const char* Replica::type_name() const {
+  if (object_ != nullptr) return "object";
+  return serial::value_type_name(value_);
+}
+
+std::size_t Replica::data_size() const {
+  if (object_ != nullptr) return serial::serialize_object(*object_).size();
+  return serial::value_wire_size(value_);
+}
+
+std::vector<std::int32_t>& Replica::int_data() {
+  return typed_data<std::vector<std::int32_t>>("an int32[]", true);
+}
+const std::vector<std::int32_t>& Replica::int_data() const {
+  return typed_data<std::vector<std::int32_t>>("an int32[]");
+}
+
+std::vector<double>& Replica::double_data() {
+  return typed_data<std::vector<double>>("a double[]", true);
+}
+const std::vector<double>& Replica::double_data() const {
+  return typed_data<std::vector<double>>("a double[]");
+}
+
+std::string& Replica::string_data() {
+  return typed_data<std::string>("a string", true);
+}
+const std::string& Replica::string_data() const {
+  return typed_data<std::string>("a string");
+}
+
+util::Buffer& Replica::byte_data() {
+  return typed_data<util::Buffer>("bytes", true);
+}
+const util::Buffer& Replica::byte_data() const {
+  return typed_data<util::Buffer>("bytes");
+}
+
+serial::Value& Replica::value() {
+  check_access(/*for_write=*/true);
+  return value_;
+}
+
+const serial::Value& Replica::value() const {
+  check_access(/*for_write=*/false);
+  return value_;
+}
+
+serial::Serializable& Replica::object() {
+  check_access(/*for_write=*/true);
+  if (object_ == nullptr) {
+    throw EntryConsistencyError("replica '" + name_ +
+                                "' is not an object replica");
+  }
+  return *object_;
+}
+
+const serial::Serializable& Replica::object() const {
+  check_access(/*for_write=*/false);
+  if (object_ == nullptr) {
+    throw EntryConsistencyError("replica '" + name_ +
+                                "' is not an object replica");
+  }
+  return *object_;
+}
+
+util::Buffer Replica::marshal_payload() const {
+  util::Buffer out;
+  util::WireWriter writer(out);
+  if (object_ != nullptr) {
+    writer.u8(static_cast<std::uint8_t>(PayloadKind::kObject));
+    writer.bytes(serial::serialize_object(*object_));
+  } else {
+    writer.u8(static_cast<std::uint8_t>(PayloadKind::kValue));
+    serial::encode_value(writer, value_);
+  }
+  return out;
+}
+
+void Replica::unmarshal_payload(std::span<const std::uint8_t> data) {
+  util::WireReader reader(data);
+  const auto kind = static_cast<PayloadKind>(reader.u8());
+  if (kind == PayloadKind::kObject) {
+    util::Buffer blob = reader.bytes();
+    if (object_ != nullptr) {
+      // In-place unserialize through the user's hook (paper Fig 4).
+      util::WireReader obj_reader(blob);
+      obj_reader.str();  // type name (instance already exists)
+      object_->unserialize(obj_reader);
+    } else {
+      object_ = serial::unserialize_object(blob);
+    }
+  } else {
+    value_ = serial::decode_value(reader);
+  }
+}
+
+std::shared_ptr<Replica> Replica::create(runtime::Mocha& mocha,
+                                         const std::string& name,
+                                         serial::Value initial,
+                                         int num_copies) {
+  SiteReplicaRuntime& site = site_runtime_of(mocha);
+  auto replica =
+      std::shared_ptr<Replica>(new Replica(name, std::move(initial)));
+  site.register_replica(replica);
+  publish(site, *replica, num_copies);
+  return replica;
+}
+
+std::shared_ptr<Replica> Replica::create_object(
+    runtime::Mocha& mocha, const std::string& name,
+    std::unique_ptr<serial::Serializable> object, int num_copies) {
+  SiteReplicaRuntime& site = site_runtime_of(mocha);
+  auto replica =
+      std::shared_ptr<Replica>(new Replica(name, std::move(object)));
+  site.register_replica(replica);
+  publish(site, *replica, num_copies);
+  return replica;
+}
+
+util::Result<std::shared_ptr<Replica>> Replica::attach(
+    runtime::Mocha& mocha, const std::string& name) {
+  SiteReplicaRuntime& site = site_runtime_of(mocha);
+  ReplicaSystem& system = site.system();
+
+  // Already attached at this site? Replicas are site-level objects shared
+  // between local threads and the daemon.
+  if (auto existing = site.find_replica(name)) return existing;
+
+  const net::Port reply_port = mocha.alloc_reply_port();
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kAttachReplica);
+  writer.str(name);
+  writer.u32(site.site());
+  writer.u16(reply_port);
+  system.endpoint(site.site()).send(site.sync_site(), runtime::ports::kSync,
+                                    std::move(msg));
+
+  auto reply = system.endpoint(site.site())
+                   .recv_for(reply_port, system.options().grant_timeout);
+  if (!reply.has_value()) {
+    return util::Status(util::StatusCode::kTimeout,
+                        "attach '" + name + "': sync service unreachable");
+  }
+  util::WireReader reader(reply->payload);
+  if (reader.u8() != kAttachReply) {
+    return util::Status(util::StatusCode::kInvalid, "bad attach reply");
+  }
+  if (!reader.boolean()) {
+    return util::Status(util::StatusCode::kNotFound,
+                        "no shared object named '" + name + "'");
+  }
+  reader.str();  // type (informational)
+  util::Buffer blob = reader.bytes();
+  serial::charge_marshal_cost(system.options().marshal_model, blob.size());
+
+  auto replica = std::shared_ptr<Replica>(new Replica(name, serial::Value{}));
+  replica->unmarshal_payload(blob);
+  site.register_replica(replica);
+  return replica;
+}
+
+}  // namespace mocha::replica

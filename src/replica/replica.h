@@ -1,0 +1,134 @@
+// Replica — Mocha's shared object (paper §2.1).
+//
+// A Replica holds either a homogeneous array of primitives / a string /
+// raw bytes (a serial::Value) or a general-purpose user object implementing
+// serial::Serializable (the paper's "complex objects", normally produced by
+// the MochaGen tool — see generated.h for the C++ equivalent).
+//
+// Entry consistency contract: once a Replica is associated with a
+// ReplicaLock, its data may only be touched between lock() and unlock();
+// accessors enforce this and throw EntryConsistencyError otherwise.
+// Replicas never associated with a lock are freely accessible *without any
+// consistency maintenance* — exactly how the table-setting application
+// caches its images (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "replica/wire.h"
+#include "serial/marshal.h"
+#include "serial/value.h"
+#include "util/status.h"
+
+namespace mocha::runtime {
+class Mocha;
+}
+
+namespace mocha::replica {
+
+class SiteReplicaRuntime;
+struct LockLocal;
+
+class EntryConsistencyError : public std::logic_error {
+ public:
+  explicit EntryConsistencyError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+class Replica {
+ public:
+  // Creates and publishes a shared object with `num_copies` replicas
+  // (paper: `new Replica("flatwareIndex", mocha, myarray, 5)`).
+  static std::shared_ptr<Replica> create(runtime::Mocha& mocha,
+                                         const std::string& name,
+                                         serial::Value initial,
+                                         int num_copies);
+
+  // Creates and publishes a shared general-purpose object (the MochaGen
+  // path; see generated.h for typed wrappers).
+  static std::shared_ptr<Replica> create_object(
+      runtime::Mocha& mocha, const std::string& name,
+      std::unique_ptr<serial::Serializable> object, int num_copies);
+
+  // Acquires a replica of an already-published object
+  // (paper: `new Replica("flatwareIndex", mocha)`). The type and current
+  // contents are already known by the Mocha runtime.
+  static util::Result<std::shared_ptr<Replica>> attach(
+      runtime::Mocha& mocha, const std::string& name);
+
+  const std::string& name() const { return name_; }
+  Version version() const { return version_; }
+  bool is_object() const { return object_ != nullptr; }
+
+  // --- signature methods (paper: "determine the type and amount of data") ---
+  const char* type_name() const;
+  std::size_t data_size() const;  // wire footprint of the current payload
+
+  // --- typed accessors (entry-consistency guarded) ---
+  // Mutable accessors additionally require the guard lock to be held in
+  // exclusive mode; const accessors work under shared (read-only) locks too.
+  std::vector<std::int32_t>& int_data();
+  const std::vector<std::int32_t>& int_data() const;
+  std::vector<double>& double_data();
+  const std::vector<double>& double_data() const;
+  std::string& string_data();
+  const std::string& string_data() const;
+  util::Buffer& byte_data();
+  const util::Buffer& byte_data() const;
+  serial::Value& value();
+  const serial::Value& value() const;
+
+  // The shared user object (object replicas only; guarded).
+  serial::Serializable& object();
+  const serial::Serializable& object() const;
+  template <typename T>
+  T& object_as() {
+    auto* typed = dynamic_cast<T*>(&object());
+    if (typed == nullptr) {
+      throw EntryConsistencyError("replica '" + name_ +
+                                  "' holds a different object type");
+    }
+    return *typed;
+  }
+  template <typename T>
+  const T& object_as() const {
+    const auto* typed = dynamic_cast<const T*>(&object());
+    if (typed == nullptr) {
+      throw EntryConsistencyError("replica '" + name_ +
+                                  "' holds a different object type");
+    }
+    return *typed;
+  }
+
+  // --- used by the runtime (marshal path) ---
+  util::Buffer marshal_payload() const;  // no cost charging (caller charges)
+  void unmarshal_payload(std::span<const std::uint8_t> data);
+  void set_version(Version v) { version_ = v; }
+
+  // Guard wiring (set by ReplicaLock::associate).
+  void set_guard(const LockLocal* guard) { guard_ = guard; }
+  bool guarded() const { return guard_ != nullptr; }
+
+ private:
+  friend class SiteReplicaRuntime;
+  Replica(std::string name, serial::Value value);
+  Replica(std::string name, std::unique_ptr<serial::Serializable> object);
+
+  void check_access(bool for_write) const;
+
+  template <typename T>
+  T& typed_data(const char* wanted, bool for_write);
+  template <typename T>
+  const T& typed_data(const char* wanted) const;
+
+  std::string name_;
+  serial::Value value_;
+  std::unique_ptr<serial::Serializable> object_;
+  Version version_ = 0;
+  const LockLocal* guard_ = nullptr;
+};
+
+}  // namespace mocha::replica

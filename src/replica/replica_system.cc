@@ -1,0 +1,81 @@
+#include "replica/replica_system.h"
+
+#include "util/log.h"
+
+namespace mocha::replica {
+
+ReplicaSystem::ReplicaSystem(runtime::MochaSystem& mocha_system,
+                             ReplicaOptions options)
+    : mocha_(mocha_system), options_(std::move(options)) {
+  for (runtime::SiteId site = 0; site < mocha_.site_count(); ++site) {
+    sites_.push_back(std::make_unique<SiteReplicaRuntime>(*this, site));
+  }
+  sync_services_.push_back(
+      std::make_unique<SyncService>(*this, mocha_.home_site()));
+  mocha_.set_mocha_decorator([this](runtime::Mocha& mocha) {
+    mocha.set_replica_runtime(sites_.at(mocha.site()).get());
+  });
+
+  if (options_.enable_sync_recovery) {
+    if (options_.sync_backup_site >= sites_.size() ||
+        options_.sync_backup_site == mocha_.home_site()) {
+      throw std::logic_error(
+          "sync recovery needs a backup site distinct from home");
+    }
+    scheduler().spawn("syncwatchdog", [this] { watchdog_loop(); });
+  }
+}
+
+void ReplicaSystem::watchdog_loop() {
+  const runtime::SiteId backup = options_.sync_backup_site;
+  net::MochaNetEndpoint& ep = endpoint(backup);
+  int misses = 0;
+  while (true) {
+    scheduler().sleep_for(options_.sync_probe_interval);
+    const runtime::SiteId current = sites_.at(backup)->sync_site();
+    if (current == backup) return;  // we already took over; nothing to watch
+
+    util::Buffer probe;
+    util::WireWriter writer(probe);
+    writer.u8(kHeartbeat);
+    writer.u32(0);
+    util::Status alive = ep.send_sync(current, runtime::ports::kDaemon,
+                                      std::move(probe),
+                                      options_.sync_probe_timeout);
+    if (alive.is_ok()) {
+      misses = 0;
+      continue;
+    }
+    if (++misses < options_.sync_probe_misses) continue;
+
+    mocha_.event_log().record(
+        scheduler().now(), runtime::EventKind::kFailure,
+        mocha_.site_name(current),
+        "synchronization thread unresponsive after " +
+            std::to_string(misses) + " probes; spawning surrogate at '" +
+            mocha_.site_name(backup) + "'");
+    fail_over_sync();
+    return;
+  }
+}
+
+void ReplicaSystem::fail_over_sync() {
+  const runtime::SiteId backup = options_.sync_backup_site;
+  // Spawn the surrogate from the stable-storage log (§4: "a new
+  // synchronization thread is spawned which informs the daemon threads of
+  // its existence").
+  sync_services_.push_back(std::make_unique<SyncService>(*this, backup));
+  sites_.at(backup)->set_sync_site(backup);
+
+  net::MochaNetEndpoint& ep = endpoint(backup);
+  for (runtime::SiteId site = 0; site < sites_.size(); ++site) {
+    if (site == backup) continue;
+    util::Buffer moved;
+    util::WireWriter writer(moved);
+    writer.u8(kSyncMoved);
+    writer.u32(backup);
+    ep.send(site, runtime::ports::kDaemon, std::move(moved));
+  }
+}
+
+}  // namespace mocha::replica

@@ -1,0 +1,63 @@
+// ReplicaSystem — wires Mocha's shared-object support into a MochaSystem:
+// one SiteReplicaRuntime (with its daemon thread) per site, one SyncService
+// at the home site, and a decorator that attaches the per-site runtime to
+// every Mocha travel bag so application code can write
+//
+//   auto r = Replica::create(mocha, "flatwareIndex", ints, 5);
+//   ReplicaLock lk(1, mocha);
+//   lk.associate(r);
+//   lk.lock();  ...  lk.unlock();
+//
+// Construct after all sites have been added.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "replica/site_runtime.h"
+#include "replica/sync_log.h"
+#include "replica/sync_service.h"
+
+namespace mocha::replica {
+
+class ReplicaSystem {
+ public:
+  explicit ReplicaSystem(runtime::MochaSystem& mocha_system,
+                         ReplicaOptions options = {});
+
+  runtime::MochaSystem& mocha() { return mocha_; }
+  ReplicaOptions& options() { return options_; }
+  // The currently authoritative synchronization thread (the surrogate after
+  // a failover).
+  SyncService& sync() { return *sync_services_.back(); }
+  SiteReplicaRuntime& site_runtime(runtime::SiteId site) {
+    return *sites_.at(site);
+  }
+
+  net::MochaNetEndpoint& endpoint(runtime::SiteId site) {
+    return mocha_.endpoint(site);
+  }
+  sim::Scheduler& scheduler() { return mocha_.scheduler(); }
+  runtime::SiteId home_site() const { return mocha_.home_site(); }
+  net::TransferMode transfer_mode() const {
+    return mocha_.options().transfer_mode;
+  }
+
+  // --- sync-thread failure recovery (§4) ---
+  SyncStateLog& sync_log() { return sync_log_; }
+  std::size_t sync_incarnations() const { return sync_services_.size(); }
+
+ private:
+  void watchdog_loop();
+  // Spawns a surrogate SyncService at the backup site and informs every
+  // site's daemon of the new location.
+  void fail_over_sync();
+
+  runtime::MochaSystem& mocha_;
+  ReplicaOptions options_;
+  std::vector<std::unique_ptr<SiteReplicaRuntime>> sites_;
+  std::vector<std::unique_ptr<SyncService>> sync_services_;
+  SyncStateLog sync_log_;
+};
+
+}  // namespace mocha::replica

@@ -1,0 +1,206 @@
+#include "replica/site_runtime.h"
+
+#include "replica/replica_system.h"
+#include "util/log.h"
+
+namespace mocha::replica {
+
+SiteReplicaRuntime::SiteReplicaRuntime(ReplicaSystem& system,
+                                       runtime::SiteId site)
+    : system_(system), site_(site) {
+  sim::Scheduler& sched = system_.scheduler();
+  const std::string& name = system_.mocha().site_name(site);
+  sched.spawn("daemon/" + name, [this] { daemon_loop(); });
+  sched.spawn("daemondata/" + name, [this] { daemon_data_loop(); });
+}
+
+void SiteReplicaRuntime::register_replica(std::shared_ptr<Replica> replica) {
+  replicas_[replica->name()] = std::move(replica);
+}
+
+std::shared_ptr<Replica> SiteReplicaRuntime::find_replica(
+    const std::string& name) const {
+  auto it = replicas_.find(name);
+  return it != replicas_.end() ? it->second : nullptr;
+}
+
+LockLocal& SiteReplicaRuntime::lock_local(LockId id) {
+  auto it = locks_.find(id);
+  if (it == locks_.end()) {
+    auto local = std::make_unique<LockLocal>();
+    local->id = id;
+    local->ur = system_.options().default_ur;
+    local->local_waiters =
+        std::make_unique<sim::Condition>(system_.scheduler());
+    it = locks_.emplace(id, std::move(local)).first;
+  }
+  return *it->second;
+}
+
+Version SiteReplicaRuntime::local_version(LockId id) {
+  return lock_local(id).version;
+}
+
+util::Buffer SiteReplicaRuntime::marshal_bundle(const LockLocal& lk) {
+  util::Buffer bundle;
+  util::WireWriter writer(bundle);
+  writer.u32(static_cast<std::uint32_t>(lk.replica_names.size()));
+  for (const std::string& name : lk.replica_names) {
+    std::shared_ptr<Replica> replica = find_replica(name);
+    util::Buffer payload =
+        replica != nullptr ? replica->marshal_payload() : util::Buffer{};
+    // JDK-style serialization runs once per object — the per-replica fixed
+    // cost is why the paper's app pays ~1 ms per small replica (§5.1).
+    serial::charge_marshal_cost(system_.options().marshal_model,
+                                payload.size());
+    writer.str(name);
+    writer.bytes(payload);
+  }
+  return bundle;
+}
+
+void SiteReplicaRuntime::unmarshal_bundle(
+    std::span<const std::uint8_t> bundle) {
+  util::WireReader reader(bundle);
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = reader.str();
+    util::Buffer payload = reader.bytes();
+    serial::charge_marshal_cost(system_.options().marshal_model,
+                                payload.size());
+    std::shared_ptr<Replica> replica = find_replica(name);
+    if (replica == nullptr || payload.empty()) continue;
+    replica->unmarshal_payload(payload);
+  }
+}
+
+void SiteReplicaRuntime::daemon_loop() {
+  net::MochaNetEndpoint& endpoint = system_.endpoint(site_);
+  while (true) {
+    net::MochaNetEndpoint::Message msg =
+        endpoint.recv(runtime::ports::kDaemon);
+    util::WireReader reader(msg.payload);
+    switch (reader.u8()) {
+      case kTransferReplica:
+        handle_transfer(reader);
+        break;
+      case kPollVersion: {
+        const LockId lock_id = reader.u32();
+        const net::Port reply_port = reader.u16();
+        util::Buffer report;
+        util::WireWriter writer(report);
+        writer.u8(kVersionReport);
+        writer.u32(lock_id);
+        writer.u32(site_);
+        writer.u64(local_version(lock_id));
+        endpoint.send(msg.src, reply_port, std::move(report));
+        break;
+      }
+      case kHeartbeat:
+        // Liveness is proven by the transport-level ack the sender waits on;
+        // nothing to do at the daemon.
+        break;
+      case kWhereIsSync: {
+        const net::Port reply_port = reader.u16();
+        util::Buffer reply;
+        util::WireWriter writer(reply);
+        writer.u8(kSyncLocation);
+        writer.u32(sync_site_);
+        endpoint.send(msg.src, reply_port, std::move(reply));
+        break;
+      }
+      case kSyncMoved: {
+        // A surrogate synchronization thread announced itself (§4 recovery);
+        // local application threads will find it via sync_site().
+        const runtime::SiteId new_site = reader.u32();
+        sync_site_ = new_site;
+        MOCHA_INFO("daemon") << system_.mocha().site_name(site_)
+                             << ": synchronization thread moved to '"
+                             << system_.mocha().site_name(new_site) << "'";
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void SiteReplicaRuntime::handle_transfer(util::WireReader& reader) {
+  const LockId lock_id = reader.u32();
+  const Version version = reader.u64();
+  const runtime::SiteId dst_site = reader.u32();
+  const net::Port dst_port = reader.u16();
+
+  LockLocal& lk = lock_local(lock_id);
+  util::Buffer bundle = marshal_bundle(lk);  // daemon pays the marshal cost
+
+  util::Buffer data;
+  util::WireWriter writer(data);
+  writer.u32(lock_id);
+  writer.u64(version);
+  writer.raw(bundle);
+
+  net::BulkTransport bulk(system_.endpoint(site_), system_.transfer_mode());
+  util::Status sent = bulk.send_bulk(dst_site, dst_port, std::move(data),
+                                     system_.options().data_timeout);
+  if (sent.is_ok()) {
+    ++transfers_served_;
+    if (auto* tracer = system_.mocha().network().tracer()) {
+      tracer->record(trace::EventKind::kTransferServed,
+                     system_.scheduler().now(), site_, dst_site, lock_id,
+                     bundle.size());
+    }
+  } else {
+    MOCHA_WARN("daemon") << system_.mocha().site_name(site_)
+                         << ": transfer of lock " << lock_id << " to site "
+                         << dst_site << " failed: " << sent.to_string();
+  }
+}
+
+std::optional<runtime::SiteId> SiteReplicaRuntime::discover_sync_site(
+    net::Port reply_port, sim::Duration timeout) {
+  net::MochaNetEndpoint& endpoint = system_.endpoint(site_);
+  for (runtime::SiteId s = 0; s < system_.mocha().site_count(); ++s) {
+    if (s == site_) continue;
+    util::Buffer query;
+    util::WireWriter writer(query);
+    writer.u8(kWhereIsSync);
+    writer.u16(reply_port);
+    endpoint.send(s, runtime::ports::kDaemon, std::move(query));
+  }
+  const sim::Time deadline = system_.scheduler().now() + timeout;
+  while (system_.scheduler().now() < deadline) {
+    auto reply =
+        endpoint.recv_for(reply_port, deadline - system_.scheduler().now());
+    if (!reply.has_value()) break;
+    util::WireReader reader(reply->payload);
+    if (reader.u8() != kSyncLocation) continue;
+    sync_site_ = reader.u32();
+    return sync_site_;
+  }
+  return std::nullopt;
+}
+
+void SiteReplicaRuntime::daemon_data_loop() {
+  net::BulkTransport bulk(system_.endpoint(site_), system_.transfer_mode());
+  while (true) {
+    auto msg = bulk.recv_bulk(kDaemonDataPort, net::BulkTransport::kWaitForever);
+    if (!msg.is_ok()) continue;  // failed pull; keep listening
+    util::WireReader reader(msg.value().payload);
+    const LockId lock_id = reader.u32();
+    const Version version = reader.u64();
+    LockLocal& lk = lock_local(lock_id);
+    // Apply the pushed update directly to the shared objects (§4): the
+    // daemon has direct access to the replicas.
+    unmarshal_bundle(reader.raw(reader.remaining()));
+    if (version > lk.version) lk.version = version;
+    ++updates_applied_;
+    if (auto* tracer = system_.mocha().network().tracer()) {
+      tracer->record(trace::EventKind::kUpdatePushed,
+                     system_.scheduler().now(), msg.value().src, site_,
+                     lock_id, version);
+    }
+  }
+}
+
+}  // namespace mocha::replica

@@ -1,0 +1,497 @@
+#include "replica/sync_service.h"
+
+#include <algorithm>
+
+#include "replica/replica_system.h"
+#include "util/log.h"
+
+namespace mocha::replica {
+
+SyncService::SyncService(ReplicaSystem& system, runtime::SiteId site)
+    : system_(system), site_(site) {
+  restore_from_log();
+  system_.scheduler().spawn(
+      "syncthread@" + system_.mocha().site_name(site_), [this] { loop(); });
+}
+
+void SyncService::restore_from_log() {
+  const SyncStateLog& log = system_.sync_log();
+  for (const auto& [id, record] : log.locks) {
+    LockState& lock = locks_[id];
+    lock.id = id;
+    lock.version = record.version;
+    lock.last_owner = record.last_owner;
+    lock.up_to_date = record.up_to_date;
+    lock.holders = record.holders;
+  }
+  replicas_ = log.replicas;
+  cached_ = log.cached;
+  blacklist_ = log.blacklist;
+}
+
+void SyncService::log_lock(const LockState& lock) {
+  SyncStateLog& log = system_.sync_log();
+  SyncStateLog::LockRecord& record = log.locks[lock.id];
+  record.version = lock.version;
+  record.last_owner = lock.last_owner;
+  record.up_to_date = lock.up_to_date;
+  record.holders = lock.holders;
+  ++log.writes;
+}
+
+void SyncService::log_replica(const std::string& name) {
+  SyncStateLog& log = system_.sync_log();
+  log.replicas[name] = replicas_.at(name);
+  ++log.writes;
+}
+
+void SyncService::loop() {
+  endpoint_ = &system_.endpoint(site_);
+  while (true) {
+    auto msg = next_message();
+    if (msg.has_value()) handle(std::move(*msg));
+    scan_leases();
+  }
+}
+
+std::optional<net::MochaNetEndpoint::Message> SyncService::next_message() {
+  if (!stash_.empty()) {
+    auto msg = std::move(stash_.front());
+    stash_.pop_front();
+    return msg;
+  }
+  // Wake periodically to scan leases only while some lock is actually held;
+  // otherwise block outright so an idle system quiesces (and Scheduler::run
+  // can return).
+  bool any_lease = false;
+  for (const auto& [id, lock] : locks_) {
+    if (!lock.active.empty()) {
+      any_lease = true;
+      break;
+    }
+  }
+  if (!any_lease) return endpoint_->recv(runtime::ports::kSync);
+  return endpoint_->recv_for(runtime::ports::kSync,
+                             system_.options().lease_check_interval);
+}
+
+void SyncService::handle(net::MochaNetEndpoint::Message msg) {
+  util::WireReader reader(msg.payload);
+  switch (reader.u8()) {
+    case kAcquireLock:
+      handle_acquire(reader);
+      break;
+    case kReleaseLock:
+      handle_release(reader);
+      break;
+    case kRegisterLock: {
+      const LockId id = reader.u32();
+      const runtime::SiteId site = reader.u32();
+      LockState& lock = locks_[id];
+      lock.id = id;
+      lock.holders.insert(site);
+      log_lock(lock);
+      break;
+    }
+    case kRegisterReplica: {
+      std::string name = reader.str();
+      const runtime::SiteId site = reader.u32();
+      ReplicaDirectoryEntry entry;
+      entry.type = reader.str();
+      entry.r_copies = static_cast<int>(reader.u32());
+      entry.initial_blob = reader.bytes();
+      entry.sites.insert(site);
+      replicas_[name] = std::move(entry);
+      log_replica(name);
+      break;
+    }
+    case kAttachReplica: {
+      const std::string name = reader.str();
+      const runtime::SiteId site = reader.u32();
+      const net::Port reply_port = reader.u16();
+      util::Buffer reply;
+      util::WireWriter writer(reply);
+      writer.u8(kAttachReply);
+      auto it = replicas_.find(name);
+      if (it == replicas_.end()) {
+        writer.boolean(false);
+        writer.str("");
+        writer.bytes(util::Buffer{});
+      } else {
+        it->second.sites.insert(site);
+        log_replica(name);
+        writer.boolean(true);
+        writer.str(it->second.type);
+        writer.bytes(it->second.initial_blob);
+      }
+      endpoint_->send(site, reply_port, std::move(reply));
+      break;
+    }
+    case kPublishCached:
+      handle_publish_cached(reader);
+      break;
+    case kRefreshCached:
+      handle_refresh_cached(reader);
+      break;
+    case kVersionReport:
+      // A straggler from an earlier poll window; stale, drop it.
+      break;
+    default:
+      break;
+  }
+}
+
+// --- §7 non-synchronization-based consistency: cached-object directory ---
+
+void SyncService::handle_publish_cached(util::WireReader& reader) {
+  const std::string name = reader.str();
+  const runtime::SiteId site = reader.u32();
+  const net::Port reply_port = reader.u16();
+  VersionVector vv = VersionVector::decode(reader);
+  util::Buffer blob = reader.bytes();
+
+  auto it = cached_.find(name);
+  const bool accept =
+      it == cached_.end() || vv.dominates_or_equals(it->second.vv);
+
+  util::Buffer reply;
+  util::WireWriter writer(reply);
+  writer.u8(kPublishReply);
+  writer.boolean(accept);
+  if (accept) {
+    cached_[name] = SyncStateLog::CachedRecord{std::move(blob), vv};
+    system_.sync_log().cached[name] = cached_[name];
+    ++system_.sync_log().writes;
+    VersionVector{}.encode(writer);
+    writer.bytes(util::Buffer{});
+  } else {
+    // Conflict (or stale publisher): hand back the directory state so the
+    // client can detect and resolve (Bayou/Coda/Rover style).
+    it->second.vv.encode(writer);
+    writer.bytes(it->second.blob);
+  }
+  endpoint_->send(site, reply_port, std::move(reply));
+}
+
+void SyncService::handle_refresh_cached(util::WireReader& reader) {
+  const std::string name = reader.str();
+  const runtime::SiteId site = reader.u32();
+  const net::Port reply_port = reader.u16();
+
+  util::Buffer reply;
+  util::WireWriter writer(reply);
+  writer.u8(kRefreshReply);
+  auto it = cached_.find(name);
+  writer.boolean(it != cached_.end());
+  if (it != cached_.end()) {
+    it->second.vv.encode(writer);
+    writer.bytes(it->second.blob);
+  } else {
+    VersionVector{}.encode(writer);
+    writer.bytes(util::Buffer{});
+  }
+  endpoint_->send(site, reply_port, std::move(reply));
+}
+
+void SyncService::handle_acquire(util::WireReader& reader) {
+  Request req;
+  req.lock_id = reader.u32();
+  req.site = reader.u32();
+  req.grant_port = reader.u16();
+  req.data_port = reader.u16();
+  req.expected_hold = reader.u64();
+  req.mode = static_cast<LockMode>(reader.u8());
+  req.nonce = reader.u64();
+
+  if (auto* tracer = system_.mocha().network().tracer()) {
+    tracer->record(trace::EventKind::kLockRequested,
+                   system_.scheduler().now(), req.site, site_, req.lock_id,
+                   req.mode == LockMode::kShared ? 1 : 0);
+  }
+
+  if (blacklist_.contains(req.site)) {
+    // §4: a thread whose lock was broken is prevented from future requests.
+    send_grant(req, 0, GrantFlag::kRejected, {});
+    return;
+  }
+
+  LockState& lock = locks_[req.lock_id];
+  lock.id = req.lock_id;
+  lock.holders.insert(req.site);
+
+  lock.waiting.push_back(req);
+  grant_from_queue(lock);
+}
+
+void SyncService::grant_from_queue(LockState& lock) {
+  // Writers need the lock free; readers join as long as nothing exclusive is
+  // active and they sit in a shared run at the head of the queue (strict
+  // FIFO, so a waiting writer blocks later readers — no starvation).
+  while (!lock.waiting.empty()) {
+    const Request& head = lock.waiting.front();
+    if (head.mode == LockMode::kExclusive) {
+      if (!lock.active.empty()) return;
+      Request req = head;
+      lock.waiting.pop_front();
+      activate(lock, std::move(req));
+      return;
+    }
+    if (lock.has_active_exclusive()) return;
+    Request req = head;
+    lock.waiting.pop_front();
+    activate(lock, std::move(req));
+    // continue: grant the consecutive shared run
+  }
+}
+
+void SyncService::activate(LockState& lock, Request req) {
+  ++grants_;
+  req.lease_deadline = system_.scheduler().now() + req.expected_hold +
+                       system_.options().lease_grace;
+
+  // Version 0 means no release has happened yet: every holder still has the
+  // initial contents it got at create/attach time. Otherwise the up-to-date
+  // set (§4) decides whether a transfer is needed — with UR=1 it degenerates
+  // to Fig 7's lastLockOwner check. The ablation knob forces transfers.
+  const bool current =
+      lock.version == 0 ||
+      (!system_.options().disable_version_ok &&
+       lock.up_to_date.contains(req.site));
+  const std::vector<runtime::SiteId> holders(lock.holders.begin(),
+                                             lock.holders.end());
+  if (current) {
+    send_grant(req, lock.version, GrantFlag::kVersionOk, holders);
+  } else {
+    send_grant(req, lock.version, GrantFlag::kNeedNewVersion, holders);
+  }
+  lock.active.push_back(req);
+  if (auto* tracer = system_.mocha().network().tracer()) {
+    tracer->record(trace::EventKind::kLockGranted, system_.scheduler().now(),
+                   req.site, site_, lock.id,
+                   req.mode == LockMode::kShared ? 1 : 0);
+  }
+  if (!current) {
+    direct_transfer(lock, *lock.last_owner, lock.active.back());
+  }
+}
+
+void SyncService::send_grant(const Request& req, Version version,
+                             GrantFlag flag,
+                             const std::vector<runtime::SiteId>& holders) {
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kGrant);
+  writer.u32(req.lock_id);
+  writer.u64(req.nonce);
+  writer.u64(version);
+  writer.u8(static_cast<std::uint8_t>(flag));
+  writer.u32(static_cast<std::uint32_t>(holders.size()));
+  for (runtime::SiteId s : holders) writer.u32(s);
+  endpoint_->send(req.site, req.grant_port, std::move(msg));
+}
+
+util::Status SyncService::send_transfer_directive(const LockState& lock,
+                                                  runtime::SiteId owner,
+                                                  const Request& req) {
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kTransferReplica);
+  writer.u32(lock.id);
+  writer.u64(lock.version);
+  writer.u32(req.site);
+  writer.u16(req.data_port);
+  return endpoint_->send_sync(owner, runtime::ports::kDaemon, std::move(msg),
+                              system_.options().transfer_timeout);
+}
+
+void SyncService::direct_transfer(LockState& lock, runtime::SiteId owner,
+                                  const Request& req) {
+  util::Status sent = send_transfer_directive(lock, owner, req);
+  if (sent.is_ok()) return;
+
+  // §4, failure of a non-lock-owning thread: the transfer directive timed
+  // out, so the daemon (and its node) are presumed failed.
+  ++failures_detected_;
+  lock.holders.erase(owner);
+  lock.up_to_date.erase(owner);
+  log_lock(lock);
+  if (auto* tracer = system_.mocha().network().tracer()) {
+    tracer->record(trace::EventKind::kFailureDetected,
+                   system_.scheduler().now(), owner, site_, lock.id, 0);
+  }
+  system_.mocha().event_log().record(
+      system_.scheduler().now(), runtime::EventKind::kFailure,
+      system_.mocha().site_name(owner),
+      "daemon unresponsive while directing transfer of lock " +
+          std::to_string(lock.id) + "; polling survivors");
+  poll_and_redirect(lock, req);
+}
+
+void SyncService::poll_and_redirect(LockState& lock, const Request& req) {
+  // Poll every registered daemon for the most recent version it holds.
+  for (runtime::SiteId site : lock.holders) {
+    util::Buffer poll;
+    util::WireWriter writer(poll);
+    writer.u8(kPollVersion);
+    writer.u32(lock.id);
+    writer.u16(runtime::ports::kSync);
+    endpoint_->send(site, runtime::ports::kDaemon, std::move(poll));
+  }
+
+  std::map<runtime::SiteId, Version> reports;
+  sim::Scheduler& sched = system_.scheduler();
+  const sim::Time deadline = sched.now() + system_.options().poll_window;
+  while (sched.now() < deadline && reports.size() < lock.holders.size()) {
+    auto msg = endpoint_->recv_for(runtime::ports::kSync,
+                                   deadline - sched.now());
+    if (!msg.has_value()) break;
+    util::WireReader reader(msg->payload);
+    if (reader.u8() == kVersionReport) {
+      const LockId id = reader.u32();
+      const runtime::SiteId site = reader.u32();
+      const Version version = reader.u64();
+      if (id == lock.id) {
+        reports[site] = version;
+        continue;
+      }
+    }
+    stash_.push_back(std::move(*msg));  // unrelated traffic: handle later
+  }
+
+  // Candidates ordered newest-version first; prefer the requester itself on
+  // ties (its transfer is a local loopback).
+  std::vector<std::pair<runtime::SiteId, Version>> candidates(reports.begin(),
+                                                              reports.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return (a.first == req.site) > (b.first == req.site);
+            });
+
+  for (const auto& [site, version] : candidates) {
+    if (version < lock.version) {
+      // Weakened consistency (§4): the most recent version died with its
+      // node; forward the most recently *available* older version.
+      ++stale_forwards_;
+      system_.mocha().event_log().record(
+          sched.now(), runtime::EventKind::kFailure,
+          system_.mocha().site_name(req.site),
+          "lock " + std::to_string(lock.id) + ": version " +
+              std::to_string(lock.version) + " lost; forwarding version " +
+              std::to_string(version));
+      lock.version = version;
+    }
+    util::Status sent = send_transfer_directive(lock, site, req);
+    if (sent.is_ok()) {
+      lock.up_to_date = {site};
+      lock.last_owner = site;
+      log_lock(lock);
+      return;
+    }
+    ++failures_detected_;
+    lock.holders.erase(site);
+    log_lock(lock);
+  }
+  MOCHA_ERROR("sync") << "lock " << lock.id
+                      << ": no surviving daemon could serve a transfer";
+}
+
+void SyncService::handle_release(util::WireReader& reader) {
+  const LockId id = reader.u32();
+  const runtime::SiteId site = reader.u32();
+  const Version new_version = reader.u64();
+  const std::uint32_t n = reader.u32();
+  std::set<runtime::SiteId> up_to_date;
+  for (std::uint32_t i = 0; i < n; ++i) up_to_date.insert(reader.u32());
+  const auto mode = static_cast<LockMode>(reader.u8());
+
+  auto it = locks_.find(id);
+  if (it == locks_.end()) return;
+  LockState& lock = it->second;
+  auto active_it =
+      std::find_if(lock.active.begin(), lock.active.end(),
+                   [site](const Request& r) { return r.site == site; });
+  if (active_it != lock.active.end()) {
+    lock.active.erase(active_it);
+  } else if (!lock.active.empty() || blacklist_.contains(site)) {
+    // Stale release — e.g. from an owner whose lock was already broken.
+    // (A release from an unknown holder while nothing is active is the
+    // recovered-release case: the grant predates a sync-thread failover.)
+    return;
+  }
+
+  if (mode == LockMode::kExclusive) {
+    lock.version = new_version;
+    lock.last_owner = site;
+    lock.up_to_date = std::move(up_to_date);
+  } else {
+    // A reader received (or already had) the current version.
+    lock.up_to_date.insert(site);
+  }
+  log_lock(lock);
+  if (auto* tracer = system_.mocha().network().tracer()) {
+    tracer->record(trace::EventKind::kLockReleased, system_.scheduler().now(),
+                   site, site_, lock.id,
+                   mode == LockMode::kShared ? 1 : 0);
+  }
+  grant_from_queue(lock);
+}
+
+void SyncService::scan_leases() {
+  sim::Scheduler& sched = system_.scheduler();
+  for (auto& [id, lock] : locks_) {
+    for (std::size_t i = 0; i < lock.active.size();) {
+      Request& owner = lock.active[i];
+      if (owner.lease_deadline == 0 || sched.now() <= owner.lease_deadline) {
+        ++i;
+        continue;
+      }
+      // §4, failure of a lock-owning thread: the lock has been held for an
+      // extraordinary amount of time. Confirm with a heartbeat.
+      util::Buffer probe;
+      util::WireWriter writer(probe);
+      writer.u8(kHeartbeat);
+      writer.u32(id);
+      util::Status alive =
+          endpoint_->send_sync(owner.site, runtime::ports::kDaemon,
+                               std::move(probe),
+                               system_.options().heartbeat_timeout);
+      if (alive.is_ok()) {
+        // Just slow; extend the lease.
+        owner.lease_deadline = sched.now() + owner.expected_hold +
+                               system_.options().lease_grace;
+        ++i;
+        continue;
+      }
+      ++failures_detected_;
+      break_lock(lock, i);
+      // break_lock removed index i; re-examine the same slot.
+    }
+  }
+}
+
+void SyncService::break_lock(LockState& lock, std::size_t active_index) {
+  ++locks_broken_;
+  const Request dead = lock.active[active_index];
+  lock.active.erase(lock.active.begin() +
+                    static_cast<std::ptrdiff_t>(active_index));
+  blacklist_.insert(dead.site);
+  lock.holders.erase(dead.site);
+  lock.up_to_date.erase(dead.site);
+  system_.sync_log().blacklist = blacklist_;
+  log_lock(lock);
+  if (auto* tracer = system_.mocha().network().tracer()) {
+    tracer->record(trace::EventKind::kLockBroken, system_.scheduler().now(),
+                   dead.site, site_, lock.id, 0);
+    tracer->record(trace::EventKind::kFailureDetected,
+                   system_.scheduler().now(), dead.site, site_, lock.id, 0);
+  }
+  system_.mocha().event_log().record(
+      system_.scheduler().now(), runtime::EventKind::kFailure,
+      system_.mocha().site_name(dead.site),
+      "lock " + std::to_string(lock.id) +
+          " broken (owner failed while holding); site blacklisted");
+  grant_from_queue(lock);
+}
+
+}  // namespace mocha::replica

@@ -1,0 +1,94 @@
+// Version vectors for the non-synchronization-based consistency layer
+// (paper §7's ongoing work; the Bayou/Coda/Rover family of §6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/system.h"
+#include "util/buffer.h"
+
+namespace mocha::replica {
+
+class VersionVector {
+ public:
+  enum class Order { kEqual, kBefore, kAfter, kConcurrent };
+
+  void bump(runtime::SiteId site) { ++counts_[site]; }
+  std::uint64_t count(runtime::SiteId site) const {
+    auto it = counts_.find(site);
+    return it != counts_.end() ? it->second : 0;
+  }
+
+  // Relationship of *this* to `other`: kBefore means this < other (other
+  // dominates), kAfter means this > other, kConcurrent means conflicting.
+  Order compare(const VersionVector& other) const {
+    bool some_less = false, some_greater = false;
+    auto consider = [&](std::uint64_t mine, std::uint64_t theirs) {
+      if (mine < theirs) some_less = true;
+      if (mine > theirs) some_greater = true;
+    };
+    for (const auto& [site, mine] : counts_) consider(mine, other.count(site));
+    for (const auto& [site, theirs] : other.counts_) {
+      consider(count(site), theirs);
+    }
+    if (some_less && some_greater) return Order::kConcurrent;
+    if (some_less) return Order::kBefore;
+    if (some_greater) return Order::kAfter;
+    return Order::kEqual;
+  }
+
+  bool dominates_or_equals(const VersionVector& other) const {
+    const Order order = compare(other);
+    return order == Order::kAfter || order == Order::kEqual;
+  }
+
+  // Pointwise maximum (join) of the two vectors.
+  void merge_max(const VersionVector& other) {
+    for (const auto& [site, theirs] : other.counts_) {
+      std::uint64_t& mine = counts_[site];
+      if (theirs > mine) mine = theirs;
+    }
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [site, n] : counts_) sum += n;
+    return sum;
+  }
+
+  void encode(util::WireWriter& out) const {
+    out.u32(static_cast<std::uint32_t>(counts_.size()));
+    for (const auto& [site, n] : counts_) {
+      out.u32(site);
+      out.u64(n);
+    }
+  }
+  static VersionVector decode(util::WireReader& in) {
+    VersionVector vv;
+    for (std::uint32_t n = in.u32(); n > 0; --n) {
+      const runtime::SiteId site = in.u32();
+      vv.counts_[site] = in.u64();
+    }
+    return vv;
+  }
+
+  std::string to_string() const {
+    std::string out = "{";
+    for (const auto& [site, n] : counts_) {
+      out += std::to_string(site) + ":" + std::to_string(n) + " ";
+    }
+    if (out.size() > 1) out.pop_back();
+    return out + "}";
+  }
+
+  bool operator==(const VersionVector& other) const {
+    return compare(other) == Order::kEqual;
+  }
+
+ private:
+  std::map<runtime::SiteId, std::uint64_t> counts_;
+};
+
+}  // namespace mocha::replica

@@ -1,0 +1,61 @@
+// Wire protocol for Mocha's shared-object layer (paper §3-§4).
+//
+// Control messages ride MochaNet logical ports:
+//   ports::kSync   (home)  — lock acquire/release, replica registry, reports
+//   ports::kDaemon (all)   — transfer directives, polls, heartbeats
+//   ports::kDaemonData     — push-based replica update bundles (bulk)
+//   per-thread grant/data ports — GRANT delivery and direct replica transfer
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+
+namespace mocha::replica {
+
+using LockId = std::uint32_t;
+using Version = std::uint64_t;
+
+// Bulk replica updates use a dedicated port so BulkTransport control frames
+// never interleave with daemon control messages.
+constexpr net::Port kDaemonDataPort = 32;
+
+enum MsgType : std::uint8_t {
+  // -> sync service
+  kAcquireLock = 1,
+  kReleaseLock = 2,
+  kRegisterLock = 3,
+  kRegisterReplica = 4,
+  kAttachReplica = 5,
+  kVersionReport = 6,
+  // sync -> attacher
+  kAttachReply = 7,
+  // sync -> daemon
+  kTransferReplica = 10,
+  kPollVersion = 12,
+  kHeartbeat = 14,
+  // surrogate sync -> daemons after a sync-thread failover (§4 recovery)
+  kSyncMoved = 15,
+  // app thread -> peer daemon: where does the sync thread live now?
+  // (used by nodes that were dead during the kSyncMoved broadcast)
+  kWhereIsSync = 16,
+  kSyncLocation = 17,
+  // non-synchronization-based consistency (§7 ongoing work): cached-object
+  // directory traffic
+  kPublishCached = 18,
+  kPublishReply = 19,
+  kRefreshCached = 20,
+  kRefreshReply = 21,
+  // sync -> application thread (grant port)
+  kGrant = 20,
+};
+
+// GRANT flags (paper Fig 5: VERSIONOK / NEEDNEWVERSION, plus the §4
+// blacklist refinement).
+enum class GrantFlag : std::uint8_t {
+  kVersionOk = 0,      // requester already has the newest version
+  kNeedNewVersion = 1, // a replica transfer is on its way
+  kRejected = 2,       // requester was blacklisted after a broken lock
+};
+
+}  // namespace mocha::replica

@@ -1,0 +1,60 @@
+#include "runtime/events.h"
+
+#include <sstream>
+
+namespace mocha::runtime {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPrint:
+      return "PRINT";
+    case EventKind::kStackTrace:
+      return "STACK";
+    case EventKind::kSpawn:
+      return "SPAWN";
+    case EventKind::kTaskDone:
+      return "DONE";
+    case EventKind::kTaskFailed:
+      return "FAILED";
+    case EventKind::kClassPull:
+      return "CLASSPULL";
+    case EventKind::kFailure:
+      return "FAILURE";
+    case EventKind::kInfo:
+      return "INFO";
+  }
+  return "?";
+}
+
+void EventLog::record(sim::Time time, EventKind kind, std::string site,
+                      std::string detail) {
+  events_.push_back(
+      Event{time, kind, std::move(site), std::move(detail)});
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string EventLog::to_string() const {
+  std::ostringstream out;
+  for (const Event& e : events_) {
+    out << "[" << sim::to_ms(e.time) << "ms] " << event_kind_name(e.kind)
+        << " " << e.site << ": " << e.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mocha::runtime

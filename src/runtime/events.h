@@ -1,0 +1,53 @@
+// Home-site event log: the paper's "basic debugging and event logging
+// facilities that provide insight into execution of code at remote
+// locations" (§2). Remote prints, stack dumps, spawn lifecycle events and
+// failures all land here, stamped with virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace mocha::runtime {
+
+enum class EventKind {
+  kPrint,        // mocha_println from a remote task
+  kStackTrace,   // mocha_print_stack_trace
+  kSpawn,        // task spawned
+  kTaskDone,     // task returned results
+  kTaskFailed,   // task threw / site rejected
+  kClassPull,    // demand pull of a class
+  kFailure,      // detected node/daemon failure
+  kInfo,
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  sim::Time time = 0;
+  EventKind kind = EventKind::kInfo;
+  std::string site;    // originating site name
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  void record(sim::Time time, EventKind kind, std::string site,
+              std::string detail);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t count(EventKind kind) const;
+  // All events of `kind`, in order.
+  std::vector<Event> of_kind(EventKind kind) const;
+  void clear() { events_.clear(); }
+
+  // Renders "[time] KIND site: detail" lines (used by examples).
+  std::string to_string() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace mocha::runtime

@@ -1,0 +1,100 @@
+#include "runtime/params.h"
+
+namespace mocha::runtime {
+
+void ValueBag::add(const std::string& key, serial::Value value) {
+  values_[key] = std::move(value);
+}
+
+const serial::Value& ValueBag::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw ParameterError("no parameter named '" + key + "'");
+  }
+  return it->second;
+}
+
+template <typename T>
+const T& ValueBag::get_typed(const std::string& key, const char* wanted) const {
+  const serial::Value& value = get(key);
+  const T* typed = std::get_if<T>(&value);
+  if (typed == nullptr) {
+    throw ParameterError("parameter '" + key + "' has type " +
+                         serial::value_type_name(value) + ", wanted " + wanted);
+  }
+  return *typed;
+}
+
+std::int32_t ValueBag::get_int32(const std::string& key) const {
+  return get_typed<std::int32_t>(key, "int32");
+}
+
+std::int64_t ValueBag::get_int64(const std::string& key) const {
+  return get_typed<std::int64_t>(key, "int64");
+}
+
+double ValueBag::get_double(const std::string& key) const {
+  return get_typed<double>(key, "double");
+}
+
+bool ValueBag::get_bool(const std::string& key) const {
+  return get_typed<bool>(key, "bool");
+}
+
+const std::string& ValueBag::get_string(const std::string& key) const {
+  return get_typed<std::string>(key, "string");
+}
+
+const util::Buffer& ValueBag::get_bytes(const std::string& key) const {
+  return get_typed<util::Buffer>(key, "bytes");
+}
+
+const std::vector<std::int32_t>& ValueBag::get_int_array(
+    const std::string& key) const {
+  return get_typed<std::vector<std::int32_t>>(key, "int32[]");
+}
+
+const std::vector<double>& ValueBag::get_double_array(
+    const std::string& key) const {
+  return get_typed<std::vector<double>>(key, "double[]");
+}
+
+void ValueBag::encode(util::WireWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(values_.size()));
+  for (const auto& [key, value] : values_) {
+    out.str(key);
+    serial::encode_value(out, value);
+  }
+}
+
+ValueBag ValueBag::decode(util::WireReader& in) {
+  ValueBag bag;
+  const std::uint32_t n = in.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = in.str();
+    bag.values_[std::move(key)] = serial::decode_value(in);
+  }
+  return bag;
+}
+
+util::Buffer ValueBag::to_buffer() const {
+  util::Buffer buf;
+  util::WireWriter writer(buf);
+  encode(writer);
+  return buf;
+}
+
+ValueBag ValueBag::from_buffer(std::span<const std::uint8_t> data) {
+  util::WireReader reader(data);
+  return decode(reader);
+}
+
+std::size_t ValueBag::wire_size() const {
+  std::size_t total = 4;
+  for (const auto& [key, value] : values_) {
+    total += 4 + key.size() + serial::value_wire_size(value);
+  }
+  return total;
+}
+
+}  // namespace mocha::runtime

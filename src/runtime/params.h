@@ -1,0 +1,87 @@
+// Parameter and Result bags — the paper's Parameter/Result objects that ride
+// in the Mocha "travel bag" (Figs 1-2). Typed key/value maps with checked
+// getters; a missing or wrongly-typed key throws ParameterError (the C++
+// rendering of MochaParameterException).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serial/value.h"
+#include "util/buffer.h"
+
+namespace mocha::runtime {
+
+class ParameterError : public std::runtime_error {
+ public:
+  explicit ParameterError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Ordered typed key/value bag with wire round-tripping.
+class ValueBag {
+ public:
+  void add(const std::string& key, serial::Value value);
+
+  // Convenience adders mirroring the Java API's overloads.
+  void add(const std::string& key, std::int32_t v) { add(key, serial::Value{v}); }
+  void add(const std::string& key, std::int64_t v) { add(key, serial::Value{v}); }
+  void add(const std::string& key, double v) { add(key, serial::Value{v}); }
+  void add(const std::string& key, bool v) { add(key, serial::Value{v}); }
+  void add(const std::string& key, const std::string& v) {
+    add(key, serial::Value{v});
+  }
+  void add(const std::string& key, const char* v) {
+    add(key, serial::Value{std::string(v)});
+  }
+  void add(const std::string& key, std::vector<std::int32_t> v) {
+    add(key, serial::Value{std::move(v)});
+  }
+  void add(const std::string& key, std::vector<double> v) {
+    add(key, serial::Value{std::move(v)});
+  }
+  void add(const std::string& key, util::Buffer v) {
+    add(key, serial::Value{std::move(v)});
+  }
+
+  bool contains(const std::string& key) const { return values_.contains(key); }
+  std::size_t size() const { return values_.size(); }
+
+  // Checked getters (paper: getdouble etc.); throw ParameterError.
+  std::int32_t get_int32(const std::string& key) const;
+  std::int64_t get_int64(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  const std::string& get_string(const std::string& key) const;
+  const util::Buffer& get_bytes(const std::string& key) const;
+  const std::vector<std::int32_t>& get_int_array(const std::string& key) const;
+  const std::vector<double>& get_double_array(const std::string& key) const;
+
+  const serial::Value& get(const std::string& key) const;
+
+  void encode(util::WireWriter& out) const;
+  static ValueBag decode(util::WireReader& in);
+
+  util::Buffer to_buffer() const;
+  static ValueBag from_buffer(std::span<const std::uint8_t> data);
+
+  // Total wire footprint (used for transfer cost accounting).
+  std::size_t wire_size() const;
+
+  const std::map<std::string, serial::Value>& values() const { return values_; }
+
+ private:
+  template <typename T>
+  const T& get_typed(const std::string& key, const char* wanted) const;
+
+  std::map<std::string, serial::Value> values_;
+};
+
+// Parameters sent *to* a remotely evaluated task.
+using Parameter = ValueBag;
+// Results a task sends back via Mocha::return_results().
+using ResultBag = ValueBag;
+
+}  // namespace mocha::runtime

@@ -1,0 +1,53 @@
+#include "runtime/registry.h"
+
+#include <stdexcept>
+
+namespace mocha::runtime {
+
+TaskRegistry& TaskRegistry::instance() {
+  static TaskRegistry registry;
+  return registry;
+}
+
+void TaskRegistry::register_class(const std::string& name, TaskFactory factory,
+                                  std::vector<std::string> dependencies) {
+  classes_[name] =
+      TaskClassInfo{std::move(factory), std::move(dependencies)};
+}
+
+bool TaskRegistry::has_class(const std::string& name) const {
+  return classes_.contains(name);
+}
+
+const TaskClassInfo& TaskRegistry::info(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    throw std::out_of_range("no task class registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+void ClassRepository::put(const std::string& name, util::Buffer bytes) {
+  blobs_[name] = std::move(bytes);
+}
+
+void ClassRepository::put_synthetic(const std::string& name, std::size_t size) {
+  util::Buffer bytes(size);
+  std::uint8_t v = static_cast<std::uint8_t>(name.size());
+  for (auto& b : bytes) b = v++;
+  blobs_[name] = std::move(bytes);
+}
+
+bool ClassRepository::has(const std::string& name) const {
+  return blobs_.contains(name);
+}
+
+const util::Buffer& ClassRepository::bytes(const std::string& name) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) {
+    throw std::out_of_range("no class bytes for '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mocha::runtime

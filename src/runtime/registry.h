@@ -1,0 +1,96 @@
+// Remote evaluation support: tasks, the task registry, and simulated code
+// shipping.
+//
+// The Java prototype ships real bytecode and dynamically links it ("push"
+// of the spawned class, then "demand pulling" of classes encountered during
+// execution — §2). A C++ reproduction cannot ship native code, so the
+// substitution is:
+//   - the *behaviour* of a class lives in a process-wide TaskRegistry
+//     (factories), and
+//   - the *bytes* of a class live in the home site's ClassRepository; every
+//     site keeps a ClassCache, and a site may only instantiate a class once
+//     its bytes have been pulled over the simulated network (real transfer
+//     cost, real demand-pull protocol, real cache hits/misses).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/params.h"
+#include "util/buffer.h"
+
+namespace mocha::runtime {
+
+class Mocha;
+
+// The MochaTask interface (paper Fig 2): spawned classes implement
+// mochastart(), receiving the travel-bag Mocha object.
+class MochaTask {
+ public:
+  virtual ~MochaTask() = default;
+  virtual void mochastart(Mocha& mocha) = 0;
+};
+
+using TaskFactory = std::function<std::unique_ptr<MochaTask>()>;
+
+struct TaskClassInfo {
+  TaskFactory factory;
+  // Class names this task demand-pulls when first used (paper: "demand
+  // pulling of new application code object classes as they are encountered").
+  std::vector<std::string> dependencies;
+};
+
+// Process-wide registry of spawnable classes (the C++ stand-in for having
+// the bytecode on the classpath at the home site).
+class TaskRegistry {
+ public:
+  static TaskRegistry& instance();
+
+  void register_class(const std::string& name, TaskFactory factory,
+                      std::vector<std::string> dependencies = {});
+  bool has_class(const std::string& name) const;
+  const TaskClassInfo& info(const std::string& name) const;
+
+ private:
+  std::map<std::string, TaskClassInfo> classes_;
+};
+
+template <typename Task>
+struct TaskRegistration {
+  explicit TaskRegistration(const std::string& name,
+                            std::vector<std::string> deps = {}) {
+    TaskRegistry::instance().register_class(
+        name, [] { return std::make_unique<Task>(); }, std::move(deps));
+  }
+};
+
+// The home site's store of class bytes. Sizes default to a plausible class
+// file size; applications can register exact blobs.
+class ClassRepository {
+ public:
+  void put(const std::string& name, util::Buffer bytes);
+  void put_synthetic(const std::string& name, std::size_t size);
+  bool has(const std::string& name) const;
+  const util::Buffer& bytes(const std::string& name) const;
+
+ private:
+  std::map<std::string, util::Buffer> blobs_;
+};
+
+// Per-site cache of already-pulled classes.
+class ClassCache {
+ public:
+  bool has(const std::string& name) const { return cached_.contains(name); }
+  void insert(const std::string& name) { cached_.insert(name); }
+  std::size_t size() const { return cached_.size(); }
+
+ private:
+  std::set<std::string> cached_;
+};
+
+}  // namespace mocha::runtime

@@ -1,0 +1,492 @@
+#include "runtime/system.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace mocha::runtime {
+
+namespace {
+enum MsgType : std::uint8_t {
+  kSpawnRequest = 1,
+  kClassRequest = 3,
+  kClassData = 4,
+  kResult = 5,
+  kPrint = 6,
+};
+}  // namespace
+
+// ---------------------------------------------------------------- Mocha ----
+
+bool Mocha::is_home() const { return site_ == system_->home_site(); }
+
+const std::string& Mocha::site_name() const {
+  return system_->site_name(site_);
+}
+
+ResultHandle Mocha::spawn(const std::string& class_name,
+                          const Parameter& params) {
+  return system_->spawn_from(site_, std::nullopt, class_name, params);
+}
+
+ResultHandle Mocha::spawn_at(SiteId target, const std::string& class_name,
+                             const Parameter& params) {
+  return system_->spawn_from(site_, target, class_name, params);
+}
+
+void Mocha::mocha_println(const std::string& text) {
+  system_->console_print(site_, EventKind::kPrint, text);
+}
+
+void Mocha::mocha_print_stack_trace(const std::exception& e) {
+  system_->console_print(site_, EventKind::kStackTrace, e.what());
+}
+
+void Mocha::return_results() {
+  if (returned_) return;
+  returned_ = true;
+  if (task_id_ == 0) return;  // the main thread has no waiting handle
+  system_->send_outcome(site_, reply_site_, task_id_, /*ok=*/true, "", result);
+}
+
+util::Status Mocha::require_class(const std::string& name) {
+  return system_->pull_class(site_, name);
+}
+
+net::Port Mocha::alloc_reply_port() { return system_->alloc_app_port(site_); }
+
+// ---------------------------------------------------------- ResultHandle ----
+
+util::Result<ResultBag> ResultHandle::wait(sim::Duration timeout) {
+  return system_->wait_for_result(waiter_site_, task_id_, timeout);
+}
+
+// ----------------------------------------------------------- MochaSystem ----
+
+MochaSystem::MochaSystem(sim::Scheduler& sched, net::NetProfile profile,
+                         MochaOptions options, std::uint64_t seed)
+    : sched_(sched), net_(sched, std::move(profile), seed),
+      options_(std::move(options)) {}
+
+MochaSystem::~MochaSystem() = default;
+
+SiteId MochaSystem::add_site(std::string name, SitePolicy policy) {
+  const SiteId id = net_.add_node(name);
+  auto site = std::make_unique<Site>();
+  site->id = id;
+  site->name = std::move(name);
+  site->policy = std::move(policy);
+  site->endpoint = std::make_unique<net::MochaNetEndpoint>(net_, id);
+  sites_.push_back(std::move(site));
+
+  sched_.spawn("sitemgr/" + sites_.back()->name,
+               [this, id] { site_manager_loop(id); });
+  sched_.spawn("results/" + sites_.back()->name,
+               [this, id] { results_router_loop(id); });
+  if (id == home_site()) {
+    sched_.spawn("console", [this] { console_loop(); });
+    sched_.spawn("classserver", [this] { class_server_loop(); });
+  }
+  return id;
+}
+
+const std::string& MochaSystem::site_name(SiteId site) const {
+  return sites_.at(site)->name;
+}
+
+net::MochaNetEndpoint& MochaSystem::endpoint(SiteId site) {
+  return *sites_.at(site)->endpoint;
+}
+
+std::vector<SiteId> MochaSystem::hostfile() const {
+  if (!hostfile_override_.empty()) return hostfile_override_;
+  std::vector<SiteId> hosts;
+  for (const auto& site : sites_) {
+    if (site->id != home_site()) hosts.push_back(site->id);
+  }
+  if (hosts.empty()) hosts.push_back(home_site());
+  return hosts;
+}
+
+void MochaSystem::set_hostfile(std::vector<SiteId> hosts) {
+  hostfile_override_ = std::move(hosts);
+}
+
+void MochaSystem::set_mocha_decorator(std::function<void(Mocha&)> decorator) {
+  mocha_decorator_ = std::move(decorator);
+}
+
+net::Port MochaSystem::alloc_app_port(SiteId site) {
+  Site& s = *sites_.at(site);
+  if (s.next_app_port == 0) {
+    // u16 wrapped: silently reusing ports would cross-deliver replies.
+    throw std::logic_error("site '" + s.name +
+                           "' exhausted its reply-port space");
+  }
+  return s.next_app_port++;
+}
+
+bool MochaSystem::class_cached(SiteId site, const std::string& name) const {
+  return sites_.at(site)->class_cache.has(name);
+}
+
+void MochaSystem::run_main(std::function<void(Mocha&)> body) {
+  run_at(home_site(), std::move(body));
+}
+
+void MochaSystem::run_at(SiteId site, std::function<void(Mocha&)> body) {
+  assert(site < sites_.size() && "add_site before run_at");
+  sched_.spawn((site == home_site() ? "main/" : "app/") + sites_.at(site)->name,
+               [this, site, body = std::move(body)] {
+                 Mocha mocha(this, site, /*task_id=*/0);
+                 if (mocha_decorator_) mocha_decorator_(mocha);
+                 body(mocha);
+               });
+}
+
+// --- spawn path ---
+
+ResultHandle MochaSystem::spawn_from(SiteId spawner,
+                                     std::optional<SiteId> target,
+                                     const std::string& class_name,
+                                     const Parameter& params) {
+  SiteId dst;
+  if (target.has_value()) {
+    dst = *target;
+  } else {
+    const std::vector<SiteId> hosts = hostfile();
+    dst = hosts[next_host_ % hosts.size()];
+    ++next_host_;
+  }
+
+  const std::uint64_t task_id = next_task_id_++;
+  result_box(spawner, task_id);  // pre-create so the router can route
+  ensure_class_bytes(class_name);
+
+  util::Buffer request;
+  util::WireWriter writer(request);
+  writer.u8(kSpawnRequest);
+  writer.u64(task_id);
+  writer.u32(spawner);
+  writer.str(class_name);
+  params.encode(writer);
+  // Initial code push: ship the class bytes along with the spawn when the
+  // home repository has them (paper §2: "initial push of application code").
+  if (class_repo_.has(class_name)) {
+    writer.boolean(true);
+    writer.bytes(class_repo_.bytes(class_name));
+  } else {
+    writer.boolean(false);
+  }
+
+  event_log_.record(sched_.now(), EventKind::kSpawn, site_name(spawner),
+                    "spawn " + class_name + " -> " + site_name(dst) +
+                        " (task " + std::to_string(task_id) + ")");
+  endpoint(spawner).send(dst, ports::kSiteManager, std::move(request));
+  return ResultHandle(this, spawner, task_id);
+}
+
+void MochaSystem::site_manager_loop(SiteId site_id) {
+  Site& site = *sites_.at(site_id);
+  while (true) {
+    net::MochaNetEndpoint::Message msg =
+        site.endpoint->recv(ports::kSiteManager);
+    util::WireReader reader(msg.payload);
+    if (reader.u8() != kSpawnRequest) continue;
+    const std::uint64_t task_id = reader.u64();
+    const SiteId reply_site = reader.u32();
+    const std::string class_name = reader.str();
+
+    // Policy enforcement: the autonomy/security model of a wide-area site.
+    if ((!site.policy.accept_foreign_tasks && msg.src != site_id) ||
+        site.policy.denied_classes.contains(class_name)) {
+      event_log_.record(sched_.now(), EventKind::kTaskFailed, site.name,
+                        "policy denied " + class_name);
+      send_outcome(site_id, reply_site, task_id, /*ok=*/false,
+                   "site '" + site.name + "' denied class '" + class_name + "'",
+                   ResultBag{});
+      continue;
+    }
+
+    if (site.active_servers >= site.policy.max_servers) {
+      site.pending_spawns.push_back(std::move(msg.payload));
+      continue;
+    }
+    ++site.active_servers;
+    start_server(site_id, std::move(msg.payload));
+  }
+}
+
+void MochaSystem::start_server(SiteId site_id, util::Buffer request) {
+  Site& site = *sites_.at(site_id);
+  util::WireReader reader(request);
+  reader.u8();  // type, already validated
+  const std::uint64_t task_id = reader.u64();
+  const SiteId reply_site = reader.u32();
+  const std::string class_name = reader.str();
+  Parameter params = Parameter::decode(reader);
+  if (reader.boolean()) {
+    reader.bytes();  // the pushed class bytes (cache the name)
+    site.class_cache.insert(class_name);
+  }
+
+  sched_.spawn(
+      "server/" + site.name + "/t" + std::to_string(task_id),
+      [this, site_id, task_id, class_name, params = std::move(params),
+       reply_site]() mutable {
+        run_task_body(site_id, task_id, class_name, std::move(params),
+                      reply_site);
+        // Server slot freed: admit the next queued request, if any.
+        Site& site = *sites_.at(site_id);
+        if (!site.pending_spawns.empty()) {
+          util::Buffer next = std::move(site.pending_spawns.front());
+          site.pending_spawns.pop_front();
+          start_server(site_id, std::move(next));
+        } else {
+          --site.active_servers;
+        }
+      });
+}
+
+void MochaSystem::run_task_body(SiteId site_id, std::uint64_t task_id,
+                                const std::string& class_name,
+                                Parameter params, SiteId reply_site) {
+  Site& site = *sites_.at(site_id);
+
+  if (!site.class_cache.has(class_name)) {
+    // The spawner did not push the bytes; demand-pull them from home.
+    util::Status pulled = pull_class(site_id, class_name);
+    if (!pulled.is_ok()) {
+      send_outcome(site_id, reply_site, task_id, false,
+                   "class '" + class_name + "' unavailable: " +
+                       pulled.to_string(),
+                   ResultBag{});
+      return;
+    }
+  }
+  if (!TaskRegistry::instance().has_class(class_name)) {
+    send_outcome(site_id, reply_site, task_id, false,
+                 "no such task class '" + class_name + "'", ResultBag{});
+    return;
+  }
+
+  Mocha mocha(this, site_id, task_id);
+  mocha.parameter = std::move(params);
+  mocha.reply_site_ = reply_site;
+  if (mocha_decorator_) mocha_decorator_(mocha);
+
+  std::unique_ptr<MochaTask> task =
+      TaskRegistry::instance().info(class_name).factory();
+  try {
+    task->mochastart(mocha);
+  } catch (const sim::SimulationShutdown&) {
+    throw;  // teardown must unwind all the way
+  } catch (const std::exception& e) {
+    console_print(site_id, EventKind::kStackTrace, e.what());
+    if (!mocha.returned_) {
+      send_outcome(site_id, reply_site, task_id, false,
+                   std::string("task threw: ") + e.what(), ResultBag{});
+    }
+    return;
+  }
+  event_log_.record(sched_.now(), EventKind::kTaskDone, site.name,
+                    class_name + " (task " + std::to_string(task_id) + ")");
+  // Tasks normally publish via return_results(); completion of a task that
+  // never called it still resolves the spawner's handle.
+  if (!mocha.returned_) {
+    send_outcome(site_id, reply_site, task_id, true, "", mocha.result);
+  }
+}
+
+void MochaSystem::send_outcome(SiteId from, SiteId to, std::uint64_t task_id,
+                               bool ok, const std::string& error,
+                               const ResultBag& results) {
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kResult);
+  writer.u64(task_id);
+  writer.boolean(ok);
+  writer.str(error);
+  results.encode(writer);
+  writer.u32(from);
+  endpoint(from).send(to, ports::kResults, std::move(msg));
+}
+
+sim::Mailbox<TaskOutcome>& MochaSystem::result_box(SiteId site,
+                                                   std::uint64_t task_id) {
+  auto& boxes = sites_.at(site)->result_boxes;
+  auto it = boxes.find(task_id);
+  if (it == boxes.end()) {
+    it = boxes
+             .emplace(task_id,
+                      std::make_unique<sim::Mailbox<TaskOutcome>>(sched_))
+             .first;
+  }
+  return *it->second;
+}
+
+void MochaSystem::results_router_loop(SiteId site_id) {
+  Site& site = *sites_.at(site_id);
+  while (true) {
+    net::MochaNetEndpoint::Message msg = site.endpoint->recv(ports::kResults);
+    util::WireReader reader(msg.payload);
+    if (reader.u8() != kResult) continue;
+    TaskOutcome outcome;
+    const std::uint64_t task_id = reader.u64();
+    outcome.ok = reader.boolean();
+    outcome.error = reader.str();
+    outcome.results = ResultBag::decode(reader);
+    outcome.from = reader.u32();
+    result_box(site_id, task_id).send(std::move(outcome));
+  }
+}
+
+util::Result<ResultBag> MochaSystem::wait_for_result(SiteId waiter_site,
+                                                     std::uint64_t task_id,
+                                                     sim::Duration timeout) {
+  sim::Mailbox<TaskOutcome>& box = result_box(waiter_site, task_id);
+  std::optional<TaskOutcome> outcome = box.recv_for(timeout);
+  if (!outcome.has_value()) {
+    return util::Status(util::StatusCode::kTimeout,
+                        "task " + std::to_string(task_id) +
+                            " produced no result (remote failure?)");
+  }
+  sites_.at(waiter_site)->result_boxes.erase(task_id);
+  if (!outcome->ok) {
+    return util::Status(util::StatusCode::kRejected, outcome->error);
+  }
+  return std::move(outcome->results);
+}
+
+// --- console / event log ---
+
+void MochaSystem::console_print(SiteId from, EventKind kind,
+                                const std::string& text) {
+  if (from == home_site()) {
+    event_log_.record(sched_.now(), kind, site_name(from), text);
+    if (options_.echo_console) {
+      std::printf("[%s] %s\n", site_name(from).c_str(), text.c_str());
+    }
+    return;
+  }
+  util::Buffer msg;
+  util::WireWriter writer(msg);
+  writer.u8(kPrint);
+  writer.u8(kind == EventKind::kStackTrace ? 1 : 0);
+  writer.str(site_name(from));
+  writer.str(text);
+  endpoint(from).send(home_site(), ports::kConsole, std::move(msg));
+}
+
+void MochaSystem::console_loop() {
+  net::MochaNetEndpoint& home = endpoint(home_site());
+  while (true) {
+    net::MochaNetEndpoint::Message msg = home.recv(ports::kConsole);
+    util::WireReader reader(msg.payload);
+    if (reader.u8() != kPrint) continue;
+    const bool is_stack = reader.u8() != 0;
+    std::string site = reader.str();
+    std::string text = reader.str();
+    event_log_.record(sched_.now(),
+                      is_stack ? EventKind::kStackTrace : EventKind::kPrint,
+                      site, text);
+    if (options_.echo_console) {
+      std::printf("[%s] %s\n", site.c_str(), text.c_str());
+    }
+  }
+}
+
+// --- class shipping ---
+
+util::Status MochaSystem::pull_class(SiteId site_id, const std::string& name) {
+  Site& site = *sites_.at(site_id);
+  if (site.pull_done == nullptr) {
+    site.pull_done = std::make_unique<sim::Condition>(sched_);
+  }
+  // Coalesce with a pull already in flight for the same class.
+  while (site.pulls_in_flight.contains(name)) site.pull_done->wait();
+  if (site.class_cache.has(name)) return util::Status::ok();
+  if (site_id == home_site()) {
+    // Home has the classpath; no transfer needed.
+    if (!class_repo_.has(name) && !TaskRegistry::instance().has_class(name)) {
+      return util::Status(util::StatusCode::kNotFound,
+                          "class '" + name + "' not in home repository");
+    }
+    site.class_cache.insert(name);
+    return util::Status::ok();
+  }
+
+  site.pulls_in_flight.insert(name);
+  auto finish = [&site, &name](util::Status status) {
+    site.pulls_in_flight.erase(name);
+    site.pull_done->notify_all();
+    return status;
+  };
+
+  const net::Port reply_port = alloc_app_port(site_id);
+  util::Buffer req;
+  util::WireWriter writer(req);
+  writer.u8(kClassRequest);
+  writer.str(name);
+  writer.u32(site_id);
+  writer.u16(reply_port);
+  site.endpoint->send(home_site(), ports::kClassServer, std::move(req));
+
+  auto reply = site.endpoint->recv_for(reply_port, options_.class_pull_timeout);
+  if (!reply.has_value()) {
+    return finish(util::Status(util::StatusCode::kTimeout,
+                               "class pull of '" + name + "' timed out"));
+  }
+  util::WireReader reader(reply->payload);
+  if (reader.u8() != kClassData) {
+    return finish(
+        util::Status(util::StatusCode::kInvalid, "bad class server reply"));
+  }
+  if (!reader.boolean()) {
+    return finish(util::Status(util::StatusCode::kNotFound,
+                               "home repository has no class '" + name + "'"));
+  }
+  reader.str();    // name echo
+  reader.bytes();  // the class bytes themselves
+  site.class_cache.insert(name);
+  ++class_pulls_;
+  return finish(util::Status::ok());
+}
+
+void MochaSystem::ensure_class_bytes(const std::string& name) {
+  // Registered task classes always have bytecode in the Java original; when
+  // the application did not register an explicit blob, synthesize a
+  // plausible class-file-sized one so shipping costs stay realistic.
+  constexpr std::size_t kDefaultClassBytes = 8 * 1024;
+  if (!class_repo_.has(name) && TaskRegistry::instance().has_class(name)) {
+    class_repo_.put_synthetic(name, kDefaultClassBytes);
+  }
+}
+
+void MochaSystem::class_server_loop() {
+  net::MochaNetEndpoint& home = endpoint(home_site());
+  while (true) {
+    net::MochaNetEndpoint::Message msg = home.recv(ports::kClassServer);
+    util::WireReader reader(msg.payload);
+    if (reader.u8() != kClassRequest) continue;
+    const std::string name = reader.str();
+    ensure_class_bytes(name);
+    const SiteId requester = reader.u32();
+    const net::Port reply_port = reader.u16();
+
+    util::Buffer reply;
+    util::WireWriter writer(reply);
+    writer.u8(kClassData);
+    const bool found = class_repo_.has(name);
+    writer.boolean(found);
+    writer.str(name);
+    writer.bytes(found ? class_repo_.bytes(name) : util::Buffer{});
+    event_log_.record(sched_.now(), EventKind::kClassPull,
+                      site_name(requester),
+                      "pull '" + name + "'" + (found ? "" : " (missing)"));
+    home.send(requester, reply_port, std::move(reply));
+  }
+}
+
+}  // namespace mocha::runtime

@@ -1,0 +1,255 @@
+// The Mocha wide-area computing infrastructure (paper §2).
+//
+// A MochaSystem owns a simulated network of *sites*. Each site runs:
+//   - a Site Manager process listening on a well-known port for requests to
+//     utilize the site, enforcing its policy and its server-capacity limit;
+//   - Mocha Server processes, allocated by the Site Manager, each of which
+//     "serves" one remotely evaluated task thread (class shipping, result
+//     forwarding, remote printing);
+//   - a results router and (at the home site) the class server and console.
+//
+// The first site added is the *home site* — where the initial application
+// thread runs, where class bytes live, and where remote prints and the event
+// log land. Start the app with run_main() and drive the simulation with
+// Scheduler::run().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/bulk.h"
+#include "net/mochanet.h"
+#include "net/network.h"
+#include "runtime/events.h"
+#include "runtime/params.h"
+#include "runtime/registry.h"
+#include "sim/mailbox.h"
+
+namespace mocha::replica {
+class SiteReplicaRuntime;  // attached by the replica layer (src/replica)
+}
+
+namespace mocha::runtime {
+
+using SiteId = net::NodeId;
+
+// Well-known logical ports (MochaNet upward-multiplexed).
+namespace ports {
+constexpr net::Port kSiteManager = 20;
+constexpr net::Port kClassServer = 21;
+constexpr net::Port kResults = 22;
+constexpr net::Port kConsole = 23;
+constexpr net::Port kSync = 30;    // replica synchronization thread (home)
+constexpr net::Port kDaemon = 31;  // replica daemon thread (every site)
+constexpr net::Port kAppBase = 1000;  // per-thread reply ports start here
+}  // namespace ports
+
+// Per-site admission policy — Mocha's "secure environment" knob. A wide-area
+// site is autonomous: it may refuse foreign tasks wholesale, cap how many
+// true processes remote work may occupy, or deny specific classes.
+struct SitePolicy {
+  std::size_t max_servers = 8;
+  bool accept_foreign_tasks = true;
+  std::set<std::string> denied_classes;
+};
+
+struct MochaOptions {
+  sim::Duration spawn_timeout = sim::seconds(30);
+  sim::Duration class_pull_timeout = sim::seconds(30);
+  // Transport used for replica state transfers (§5's two prototypes).
+  net::TransferMode transfer_mode = net::TransferMode::kBasic;
+  // Echo remote prints to stdout (examples turn this on).
+  bool echo_console = false;
+};
+
+class MochaSystem;
+class Mocha;
+
+// Outcome of a spawned task, delivered to the spawner's site.
+struct TaskOutcome {
+  bool ok = false;
+  std::string error;
+  ResultBag results;
+  SiteId from = 0;
+};
+
+// Handle returned by Mocha::spawn() (paper Fig 1's ResultHandle).
+class ResultHandle {
+ public:
+  // Blocks until the task's results arrive; kTimeout if the remote site died
+  // or never answered, kRejected/kUnavailable mapped from task failure.
+  util::Result<ResultBag> wait(sim::Duration timeout);
+
+  std::uint64_t task_id() const { return task_id_; }
+
+ private:
+  friend class MochaSystem;
+  ResultHandle(MochaSystem* system, SiteId waiter_site, std::uint64_t task_id)
+      : system_(system), waiter_site_(waiter_site), task_id_(task_id) {}
+
+  MochaSystem* system_;
+  SiteId waiter_site_;
+  std::uint64_t task_id_;
+};
+
+// The "travel bag" handed to every Mocha thread (paper §2, Fig 2).
+class Mocha {
+ public:
+  Parameter parameter;  // initial execution parameters from spawn()
+  ResultBag result;     // results to hand back via return_results()
+
+  SiteId site() const { return site_; }
+  bool is_home() const;
+  const std::string& site_name() const;
+  MochaSystem& system() { return *system_; }
+  std::uint64_t task_id() const { return task_id_; }
+
+  // Spawns `class_name` at the next hostfile site (round-robin).
+  ResultHandle spawn(const std::string& class_name, const Parameter& params);
+  // Spawns at an explicit site (paper: "other spawn methods ... specify the
+  // exact host in the host file").
+  ResultHandle spawn_at(SiteId target, const std::string& class_name,
+                        const Parameter& params);
+
+  // Remote printing / stack dumps: routed to the home console + event log.
+  void mocha_println(const std::string& text);
+  void mocha_print_stack_trace(const std::exception& e);
+
+  // Sends `result` back to the spawner. May be called once.
+  void return_results();
+
+  // Demand-pulls a class this task encounters (no-op on cache hit).
+  // Throws ParameterError-free util-style status? No: returns Status.
+  util::Status require_class(const std::string& name);
+
+  // Allocates a fresh per-thread logical reply port on this site.
+  net::Port alloc_reply_port();
+
+  // --- replica layer attachment (set by replica::ReplicaSystem) ---
+  replica::SiteReplicaRuntime* replica_runtime() const { return replicas_; }
+  void set_replica_runtime(replica::SiteReplicaRuntime* rt) { replicas_ = rt; }
+
+ private:
+  friend class MochaSystem;
+  Mocha(MochaSystem* system, SiteId site, std::uint64_t task_id)
+      : system_(system), site_(site), task_id_(task_id) {}
+
+  MochaSystem* system_;
+  SiteId site_;
+  std::uint64_t task_id_;
+  SiteId reply_site_ = 0;  // where return_results() delivers
+  bool returned_ = false;
+  replica::SiteReplicaRuntime* replicas_ = nullptr;
+};
+
+class MochaSystem {
+ public:
+  MochaSystem(sim::Scheduler& sched, net::NetProfile profile,
+              MochaOptions options = {}, std::uint64_t seed = 1);
+  ~MochaSystem();
+
+  MochaSystem(const MochaSystem&) = delete;
+  MochaSystem& operator=(const MochaSystem&) = delete;
+
+  // Adds a site and starts its Site Manager. The first site is the home
+  // site. Must be called before the simulation runs traffic to the site.
+  SiteId add_site(std::string name, SitePolicy policy = {});
+
+  std::size_t site_count() const { return sites_.size(); }
+  SiteId home_site() const { return 0; }
+  const std::string& site_name(SiteId site) const;
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return net_; }
+  net::MochaNetEndpoint& endpoint(SiteId site);
+  MochaOptions& options() { return options_; }
+  EventLog& event_log() { return event_log_; }
+  ClassRepository& class_repository() { return class_repo_; }
+
+  // The hostfile: candidate sites for round-robin spawns. Defaults to all
+  // non-home sites (all sites if there is only the home).
+  std::vector<SiteId> hostfile() const;
+  void set_hostfile(std::vector<SiteId> hosts);
+
+  // Starts the initial application thread at the home site. The body gets a
+  // fully equipped Mocha travel bag. Drive with scheduler().run().
+  void run_main(std::function<void(Mocha&)> body);
+
+  // Starts an application thread directly at `site` (no spawn protocol) —
+  // for site-local startup code and tests. Remote work normally arrives via
+  // Mocha::spawn instead.
+  void run_at(SiteId site, std::function<void(Mocha&)> body);
+
+  // Hook invoked for every Mocha travel bag created (used by the replica
+  // layer to attach per-site replica runtimes).
+  void set_mocha_decorator(std::function<void(Mocha&)> decorator);
+
+  // --- used by Mocha/ResultHandle (not user-facing) ---
+  ResultHandle spawn_from(SiteId spawner, std::optional<SiteId> target,
+                          const std::string& class_name,
+                          const Parameter& params);
+  util::Result<ResultBag> wait_for_result(SiteId waiter_site,
+                                          std::uint64_t task_id,
+                                          sim::Duration timeout);
+  void console_print(SiteId from, EventKind kind, const std::string& text);
+  util::Status pull_class(SiteId site, const std::string& name);
+  net::Port alloc_app_port(SiteId site);
+  bool class_cached(SiteId site, const std::string& name) const;
+
+  // --- statistics ---
+  std::uint64_t tasks_spawned() const { return next_task_id_ - 1; }
+  std::uint64_t class_pulls() const { return class_pulls_; }
+
+ private:
+  friend class Mocha;
+
+  struct Site {
+    SiteId id = 0;
+    std::string name;
+    SitePolicy policy;
+    std::unique_ptr<net::MochaNetEndpoint> endpoint;
+    ClassCache class_cache;
+    // Demand-pull coalescing (a Java classloader locks per class): tasks
+    // wanting a class already being fetched wait instead of re-pulling.
+    std::set<std::string> pulls_in_flight;
+    std::unique_ptr<sim::Condition> pull_done;
+    std::size_t active_servers = 0;
+    std::deque<util::Buffer> pending_spawns;  // queued raw spawn requests
+    net::Port next_app_port = ports::kAppBase;
+    std::map<std::uint64_t, std::unique_ptr<sim::Mailbox<TaskOutcome>>>
+        result_boxes;
+  };
+
+  void ensure_class_bytes(const std::string& name);
+  void site_manager_loop(SiteId site);
+  void results_router_loop(SiteId site);
+  void console_loop();
+  void class_server_loop();
+  void start_server(SiteId site, util::Buffer request);
+  void run_task_body(SiteId site, std::uint64_t task_id,
+                     const std::string& class_name, Parameter params,
+                     SiteId reply_site);
+  void send_outcome(SiteId from, SiteId to, std::uint64_t task_id, bool ok,
+                    const std::string& error, const ResultBag& results);
+  sim::Mailbox<TaskOutcome>& result_box(SiteId site, std::uint64_t task_id);
+
+  sim::Scheduler& sched_;
+  net::Network net_;
+  MochaOptions options_;
+  EventLog event_log_;
+  ClassRepository class_repo_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<SiteId> hostfile_override_;
+  std::size_t next_host_ = 0;
+  std::uint64_t next_task_id_ = 1;
+  std::uint64_t class_pulls_ = 0;
+  std::function<void(Mocha&)> mocha_decorator_;
+};
+
+}  // namespace mocha::runtime

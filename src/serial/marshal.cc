@@ -1,0 +1,53 @@
+#include "serial/marshal.h"
+
+#include "util/log.h"
+
+namespace mocha::serial {
+
+void charge_marshal_cost(const MarshalCostModel& model, std::size_t bytes) {
+  sim::Scheduler* sched = sim::Scheduler::current();
+  if (sched == nullptr) return;  // plain unit-test context
+  sched->compute(model.cost(bytes));
+}
+
+TypeRegistry& TypeRegistry::instance() {
+  static TypeRegistry registry;
+  return registry;
+}
+
+void TypeRegistry::register_type(const std::string& name,
+                                 SerializableFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool TypeRegistry::has_type(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<Serializable> TypeRegistry::create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw util::CodecError("unknown serializable type '" + name + "'");
+  }
+  return it->second();
+}
+
+util::Buffer serialize_object(const Serializable& obj) {
+  util::Buffer out;
+  util::WireWriter writer(out);
+  writer.str(obj.type_name());
+  obj.serialize(writer);
+  return out;
+}
+
+std::unique_ptr<Serializable> unserialize_object(
+    std::span<const std::uint8_t> data) {
+  util::WireReader reader(data);
+  std::string name = reader.str();
+  auto obj = TypeRegistry::instance().create(name);
+  obj->unserialize(reader);
+  return obj;
+}
+
+}  // namespace mocha::serial

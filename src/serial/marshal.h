@@ -1,0 +1,107 @@
+// Marshaling support for Mocha shared objects.
+//
+// The paper's prototype used JDK 1.1 serialization, which builds dynamic byte
+// arrays one byte at a time in interpreted code — Figure 8 shows that cost
+// growing steeply with replica size (≈1 µs/byte plus ~1 ms fixed). We really
+// encode bytes (the data moves for real through the simulated network) and
+// additionally *charge* the calling simulated process the calibrated CPU cost
+// of the 1997 implementation, so benchmark results have the paper's shape.
+//
+// MarshalCostModel::jdk11() is the paper's measured implementation;
+// MarshalCostModel::custom() is the "custom marshaling library" the paper
+// lists as future work, used in the ablation benchmark.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/scheduler.h"
+#include "util/buffer.h"
+
+namespace mocha::serial {
+
+struct MarshalCostModel {
+  // Fixed per-operation cost (stream setup, dynamic array management).
+  sim::Duration fixed_us = 0;
+  // Per-byte cost in microseconds (interpreted single-byte writes).
+  double per_byte_us = 0.0;
+
+  sim::Duration cost(std::size_t bytes) const {
+    return fixed_us +
+           static_cast<sim::Duration>(per_byte_us * static_cast<double>(bytes));
+  }
+
+  // JDK 1.1-style generic serialization, as measured by the paper (Fig 8 and
+  // the 3 ms / 3-replica figure in §5.1).
+  static MarshalCostModel jdk11() { return {.fixed_us = 900, .per_byte_us = 1.0}; }
+
+  // Optimized bulk marshaling library (the paper's stated future work):
+  // block copies at native speed.
+  static MarshalCostModel custom() {
+    return {.fixed_us = 40, .per_byte_us = 0.01};
+  }
+
+  // Free marshaling, for unit tests that only care about correctness.
+  static MarshalCostModel zero() { return {}; }
+};
+
+// Charges the current simulated process for marshaling `bytes` bytes under
+// `model`. No-op when called outside a simulation (plain unit tests).
+void charge_marshal_cost(const MarshalCostModel& model, std::size_t bytes);
+
+// Interface for user-defined shared objects ("complex objects" in the paper).
+// The Java original generated Replica subclasses with serialize/unserialize
+// overrides via the MochaGen tool; in C++ users implement this interface (or
+// use the MOCHA_GENERATED_REPLICA helpers in replica/generated.h).
+class Serializable {
+ public:
+  virtual ~Serializable() = default;
+
+  // Stable type name used to reconstruct the object on a remote node.
+  virtual std::string type_name() const = 0;
+
+  virtual void serialize(util::WireWriter& out) const = 0;
+  virtual void unserialize(util::WireReader& in) = 0;
+
+  // Deep copy (each node holds an independent replica instance).
+  virtual std::unique_ptr<Serializable> clone() const = 0;
+};
+
+using SerializableFactory = std::function<std::unique_ptr<Serializable>()>;
+
+// Process-wide registry mapping type names to factories, so a node receiving
+// a serialized object of a type it has never instantiated can rebuild it
+// (the moral equivalent of Java dynamic class loading for data objects).
+class TypeRegistry {
+ public:
+  static TypeRegistry& instance();
+
+  void register_type(const std::string& name, SerializableFactory factory);
+  bool has_type(const std::string& name) const;
+
+  // Throws util::CodecError for unknown names.
+  std::unique_ptr<Serializable> create(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, SerializableFactory> factories_;
+};
+
+// Registers `Type` (default-constructible Serializable) at static-init time.
+template <typename Type>
+struct TypeRegistration {
+  explicit TypeRegistration(const std::string& name) {
+    TypeRegistry::instance().register_type(
+        name, [] { return std::make_unique<Type>(); });
+  }
+};
+
+// Serializes `obj` (type name + payload) into a self-describing buffer and
+// rebuilds it on the other side.
+util::Buffer serialize_object(const Serializable& obj);
+std::unique_ptr<Serializable> unserialize_object(
+    std::span<const std::uint8_t> data);
+
+}  // namespace mocha::serial

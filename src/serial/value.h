@@ -1,0 +1,33 @@
+// Self-describing typed values used by Parameter/Result bags and by Replica
+// payloads. Encoding is tag + payload, all little-endian fixed-width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/buffer.h"
+
+namespace mocha::serial {
+
+using Value = std::variant<std::monostate,           // empty
+                           bool,                     //
+                           std::int32_t,             //
+                           std::int64_t,             //
+                           double,                   //
+                           std::string,              //
+                           util::Buffer,             // raw bytes
+                           std::vector<std::int32_t>,  //
+                           std::vector<double>>;
+
+void encode_value(util::WireWriter& out, const Value& value);
+Value decode_value(util::WireReader& in);
+
+// Number of payload bytes `value` occupies on the wire (used for cost
+// accounting without encoding twice).
+std::size_t value_wire_size(const Value& value);
+
+const char* value_type_name(const Value& value);
+
+}  // namespace mocha::serial

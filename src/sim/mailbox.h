@@ -1,0 +1,65 @@
+// Unbounded FIFO message queue between simulated processes. recv() blocks in
+// virtual time; send() never blocks and may be called from scheduler context
+// (e.g. a network delivery event) as well as from processes.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace mocha::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Scheduler& sched) : cond_(sched) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void send(T msg) {
+    queue_.push_back(std::move(msg));
+    cond_.notify_one();
+  }
+
+  // Blocks the calling process until a message is available.
+  T recv() {
+    while (queue_.empty()) cond_.wait();
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  // Blocks up to `timeout`; nullopt on timeout.
+  std::optional<T> recv_for(Duration timeout) {
+    const Time deadline = cond_.scheduler().now() + timeout;
+    while (queue_.empty()) {
+      const Time now = cond_.scheduler().now();
+      if (now >= deadline) return std::nullopt;
+      if (!cond_.wait_for(deadline - now) && queue_.empty()) {
+        return std::nullopt;
+      }
+    }
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  Condition cond_;
+  std::deque<T> queue_;
+};
+
+}  // namespace mocha::sim

@@ -1,0 +1,199 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace mocha::sim {
+
+namespace {
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local detail::Process* tls_process = nullptr;
+}  // namespace
+
+Scheduler::Scheduler() {
+  util::Log::set_time_source([this] { return now_; });
+}
+
+Scheduler::~Scheduler() {
+  shutting_down_ = true;
+  // Wake every live process so its stack unwinds via SimulationShutdown.
+  // Processes cannot spawn during shutdown, but iterate by index anyway.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    detail::Process* p = processes_[i].get();
+    if (p->state == detail::ProcessState::kDone) continue;
+    switch_to(p);
+  }
+  for (auto& p : processes_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+  util::Log::set_time_source(nullptr);
+}
+
+Scheduler* Scheduler::current() { return tls_scheduler; }
+
+std::string Scheduler::current_process_name() const {
+  return running_ != nullptr ? running_->name : std::string();
+}
+
+ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
+  if (shutting_down_) return 0;
+  auto proc = std::make_unique<detail::Process>();
+  proc->id = next_process_id_++;
+  proc->name = std::move(name);
+  proc->body = std::move(body);
+  detail::Process* p = proc.get();
+  processes_.push_back(std::move(proc));
+  start_process_thread(p);
+  post_at(now_, [this, p] {
+    if (p->state == detail::ProcessState::kCreated) switch_to(p);
+  });
+  MOCHA_TRACE("sim") << "spawned process " << p->id << " '" << p->name << "'";
+  return p->id;
+}
+
+void Scheduler::start_process_thread(detail::Process* p) {
+  p->thread = std::thread([this, p] {
+    {
+      std::unique_lock<std::mutex> lock(handoff_mutex_);
+      p->cv.wait(lock, [p] { return p->run_granted; });
+      p->run_granted = false;
+    }
+    tls_scheduler = this;
+    tls_process = p;
+    if (!shutting_down_) {
+      p->state = detail::ProcessState::kRunning;
+      running_ = p;
+      try {
+        p->body();
+      } catch (const SimulationShutdown&) {
+        // Normal teardown path.
+      } catch (const std::exception& e) {
+        MOCHA_ERROR("sim") << "process '" << p->name
+                           << "' died with exception: " << e.what();
+      }
+    }
+    std::unique_lock<std::mutex> lock(handoff_mutex_);
+    p->state = detail::ProcessState::kDone;
+    running_ = nullptr;
+    control_with_scheduler_ = true;
+    scheduler_cv_.notify_one();
+  });
+}
+
+void Scheduler::switch_to(detail::Process* p) {
+  assert(p->state != detail::ProcessState::kDone);
+  std::unique_lock<std::mutex> lock(handoff_mutex_);
+  assert(control_with_scheduler_);
+  control_with_scheduler_ = false;
+  p->run_granted = true;
+  p->cv.notify_one();
+  scheduler_cv_.wait(lock, [this] { return control_with_scheduler_; });
+}
+
+void Scheduler::block_current() {
+  detail::Process* p = tls_process;
+  assert(p != nullptr && "blocking primitive called outside a process");
+  std::unique_lock<std::mutex> lock(handoff_mutex_);
+  p->state = detail::ProcessState::kBlocked;
+  running_ = nullptr;
+  control_with_scheduler_ = true;
+  scheduler_cv_.notify_one();
+  p->cv.wait(lock, [p] { return p->run_granted; });
+  p->run_granted = false;
+  p->state = detail::ProcessState::kRunning;
+  running_ = p;
+  if (shutting_down_) throw SimulationShutdown();
+}
+
+void Scheduler::resume_later(detail::Process* p) {
+  post_at(now_, [this, p] {
+    if (p->state == detail::ProcessState::kBlocked) switch_to(p);
+  });
+}
+
+void Scheduler::post_at(Time when, std::function<void()> fn) {
+  if (shutting_down_) return;
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+}
+
+void Scheduler::sleep_for(Duration d) {
+  detail::Process* p = tls_process;
+  assert(p != nullptr && "sleep_for called outside a process");
+  post_at(now_ + d, [this, p] {
+    if (p->state == detail::ProcessState::kBlocked) switch_to(p);
+  });
+  block_current();
+}
+
+void Scheduler::run() { run_until(~Time{0}); }
+
+void Scheduler::run_until(Time deadline) {
+  assert(!inside_run_ && "run() is not reentrant");
+  inside_run_ = true;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    // priority_queue::top() is const; move out via const_cast (the element is
+    // removed immediately after).
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+  }
+  if (!queue_.empty()) now_ = std::max(now_, deadline);
+  inside_run_ = false;
+}
+
+void Condition::wait() {
+  auto node = std::make_shared<WaitNode>();
+  node->process = tls_process;
+  assert(node->process != nullptr && "Condition::wait outside a process");
+  waiters_.push_back(node);
+  sched_.block_current();
+  assert(node->notified);
+}
+
+bool Condition::wait_for(Duration d) {
+  auto node = std::make_shared<WaitNode>();
+  node->process = tls_process;
+  assert(node->process != nullptr && "Condition::wait_for outside a process");
+  waiters_.push_back(node);
+  // The timeout event deliberately captures only the node and the scheduler,
+  // never `this`: the Condition may be destroyed while the event is pending
+  // (settled nodes left in waiters_ are skipped by notify).
+  sched_.post_in(d, [node, sched = &sched_] {
+    if (node->settled) return;
+    node->settled = true;
+    node->notified = false;
+    if (node->process->state == detail::ProcessState::kBlocked) {
+      sched->switch_to(node->process);
+    }
+  });
+  sched_.block_current();
+  return node->notified;
+}
+
+void Condition::notify_one() {
+  while (!waiters_.empty()) {
+    auto node = waiters_.front();
+    waiters_.pop_front();
+    if (node->settled) continue;
+    node->settled = true;
+    node->notified = true;
+    sched_.resume_later(node->process);
+    return;
+  }
+}
+
+void Condition::notify_all() {
+  auto pending = std::move(waiters_);
+  waiters_.clear();
+  for (auto& node : pending) {
+    if (node->settled) continue;
+    node->settled = true;
+    node->notified = true;
+    sched_.resume_later(node->process);
+  }
+}
+
+}  // namespace mocha::sim

@@ -1,0 +1,208 @@
+// Deterministic virtual-time cooperative scheduler.
+//
+// Mocha's original prototype is a multithreaded Java system measured on real
+// LAN/WAN links. To reproduce its evaluation deterministically we run the same
+// blocking-style protocol code on *simulated* processes: each Process is backed
+// by a real std::thread, but exactly one thread (a process or the scheduler)
+// runs at any instant, and all waiting is in virtual time. The event queue is
+// ordered by (time, sequence), so a given program + seed yields a bit-identical
+// schedule on every run.
+//
+// Usage:
+//   Scheduler sched;
+//   sched.spawn("app", [&] { Condition c(sched); ...; sched.sleep_for(ms(3)); });
+//   sched.run();   // drains the event queue; blocked processes simply idle
+//
+// Blocking primitives (sleep_for, Condition::wait, Mailbox::recv) may only be
+// called from inside a process. At scheduler destruction, every still-blocked
+// process is woken with a SimulationShutdown exception so its stack unwinds;
+// process bodies must let that exception propagate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mocha::sim {
+
+// Virtual time in microseconds since simulation start.
+using Time = std::uint64_t;
+using Duration = std::uint64_t;
+
+constexpr Duration usec(std::uint64_t n) { return n; }
+constexpr Duration msec(std::uint64_t n) { return n * 1000; }
+constexpr Duration seconds(std::uint64_t n) { return n * 1000 * 1000; }
+
+// Converts virtual time to milliseconds for reporting (the paper's unit).
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
+
+// Thrown into blocked processes when the Scheduler is torn down.
+class SimulationShutdown : public std::exception {
+ public:
+  const char* what() const noexcept override { return "simulation shutdown"; }
+};
+
+class Scheduler;
+
+namespace detail {
+
+enum class ProcessState { kCreated, kBlocked, kRunning, kDone };
+
+// A simulated process. Internal to the scheduler; applications only see the
+// ProcessId handle.
+struct Process {
+  std::uint64_t id = 0;
+  std::string name;
+  std::function<void()> body;
+  ProcessState state = ProcessState::kCreated;
+  bool run_granted = false;  // guarded by Scheduler::handoff_mutex_
+  std::condition_variable cv;
+  std::thread thread;
+};
+
+}  // namespace detail
+
+using ProcessId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a process whose body starts executing at the current virtual time
+  // (or at time 0 if the simulation has not started). Callable from outside
+  // run() or from within a running process.
+  ProcessId spawn(std::string name, std::function<void()> body);
+
+  // Runs until the event queue is empty. Processes blocked on conditions with
+  // no pending wake event do not keep the simulation alive (they can only be
+  // woken by events, so an empty queue means quiescence).
+  void run();
+
+  // Runs until the event queue is empty or virtual time would exceed
+  // `deadline`; events after the deadline remain queued.
+  void run_until(Time deadline);
+
+  Time now() const { return now_; }
+
+  // Enqueues `fn` to run in the scheduler's context at time `when` (>= now).
+  // This is how non-process actors (e.g. network link delivery) inject work.
+  void post_at(Time when, std::function<void()> fn);
+  void post_in(Duration delay, std::function<void()> fn) {
+    post_at(now_ + delay, fn);
+  }
+
+  // --- Callable only from inside a process ---
+
+  // Advances virtual time for the calling process (models elapsed wall time or
+  // CPU work; see compute()).
+  void sleep_for(Duration d);
+
+  // Models CPU work: identical to sleep_for today, separated so a per-node CPU
+  // contention model can be added without touching call sites.
+  void compute(Duration d) { sleep_for(d); }
+
+  // Reschedules the caller behind events already queued at the current time.
+  void yield() { sleep_for(0); }
+
+  // The scheduler currently driving this thread, or nullptr.
+  static Scheduler* current();
+
+  bool shutting_down() const { return shutting_down_; }
+
+  // Name of the currently running process ("" outside any process). Useful in
+  // log lines and error messages.
+  std::string current_process_name() const;
+
+  std::uint64_t processes_spawned() const { return next_process_id_ - 1; }
+
+ private:
+  friend class Condition;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  // Transfers control to `p` and blocks the scheduler thread until `p` blocks
+  // or finishes.
+  void switch_to(detail::Process* p);
+
+  // Called from a process thread: returns control to the scheduler and blocks
+  // until re-granted. Throws SimulationShutdown when torn down.
+  void block_current();
+
+  // Schedules a wake event for `p` at now() (after already-queued same-time
+  // events).
+  void resume_later(detail::Process* p);
+
+  void start_process_thread(detail::Process* p);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_process_id_ = 1;
+  bool shutting_down_ = false;
+  bool inside_run_ = false;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::unique_ptr<detail::Process>> processes_;
+
+  // Handoff machinery: exactly one of {scheduler, some process} holds the
+  // "control token". All state above is only touched by the token holder, so
+  // it needs no locking; the mutex below serializes the token transfer itself.
+  std::mutex handoff_mutex_;
+  std::condition_variable scheduler_cv_;
+  bool control_with_scheduler_ = true;
+  detail::Process* running_ = nullptr;
+};
+
+// Simulated condition variable. Waiters are woken in FIFO order.
+class Condition {
+ public:
+  explicit Condition(Scheduler& sched) : sched_(sched) {}
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  // Blocks the calling process until notified.
+  void wait();
+
+  // Blocks until notified or until `d` elapses; returns false on timeout.
+  bool wait_for(Duration d);
+
+  void notify_one();
+  void notify_all();
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct WaitNode {
+    detail::Process* process;
+    bool settled = false;   // a wake (notify or timeout) has been committed
+    bool notified = false;  // the wake was a notify, not a timeout
+  };
+
+  Scheduler& sched_;
+  std::deque<std::shared_ptr<WaitNode>> waiters_;
+};
+
+}  // namespace mocha::sim

@@ -1,0 +1,215 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace mocha::trace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDatagramSent:
+      return "DGRAM_SENT";
+    case EventKind::kDatagramDelivered:
+      return "DGRAM_DELIVERED";
+    case EventKind::kDatagramDropped:
+      return "DGRAM_DROPPED";
+    case EventKind::kLockRequested:
+      return "LOCK_REQUESTED";
+    case EventKind::kLockGranted:
+      return "LOCK_GRANTED";
+    case EventKind::kLockReleased:
+      return "LOCK_RELEASED";
+    case EventKind::kLockBroken:
+      return "LOCK_BROKEN";
+    case EventKind::kTransferServed:
+      return "TRANSFER_SERVED";
+    case EventKind::kUpdatePushed:
+      return "UPDATE_PUSHED";
+    case EventKind::kFailureDetected:
+      return "FAILURE_DETECTED";
+  }
+  return "?";
+}
+
+void Tracer::record(EventKind kind, sim::Time time, std::uint32_t site,
+                    std::uint32_t peer, std::uint64_t object,
+                    std::uint64_t value) {
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  event.site = site;
+  event.peer = peer;
+  event.object = object;
+  event.value = value;
+  events_.push_back(event);
+}
+
+std::size_t Tracer::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+std::string Tracer::site_name(std::uint32_t site) const {
+  if (site < site_names_.size()) return site_names_[site];
+  return "site" + std::to_string(site);
+}
+
+std::map<std::uint64_t, LockStats> Tracer::lock_stats() const {
+  struct Pending {
+    std::optional<sim::Time> requested;
+    std::optional<sim::Time> granted;
+  };
+  std::map<std::uint64_t, LockStats> out;
+  // Track per (lock, site) outstanding request/hold.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Pending> pending;
+  struct Acc {
+    double wait_sum = 0, hold_sum = 0;
+    std::uint64_t waits = 0, holds = 0;
+  };
+  std::map<std::uint64_t, Acc> acc;
+
+  for (const Event& e : events_) {
+    const auto key = std::make_pair(e.object, e.site);
+    switch (e.kind) {
+      case EventKind::kLockRequested:
+        pending[key].requested = e.time;
+        break;
+      case EventKind::kLockGranted: {
+        LockStats& stats = out[e.object];
+        ++stats.acquisitions;
+        if (e.value != 0) ++stats.shared_acquisitions;
+        Pending& p = pending[key];
+        if (p.requested.has_value()) {
+          const double wait = sim::to_ms(e.time - *p.requested);
+          acc[e.object].wait_sum += wait;
+          ++acc[e.object].waits;
+          out[e.object].max_wait_ms = std::max(out[e.object].max_wait_ms, wait);
+          p.requested.reset();
+        }
+        p.granted = e.time;
+        break;
+      }
+      case EventKind::kLockReleased: {
+        Pending& p = pending[key];
+        if (p.granted.has_value()) {
+          const double hold = sim::to_ms(e.time - *p.granted);
+          acc[e.object].hold_sum += hold;
+          ++acc[e.object].holds;
+          out[e.object].max_hold_ms = std::max(out[e.object].max_hold_ms, hold);
+          p.granted.reset();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (auto& [id, stats] : out) {
+    const Acc& a = acc[id];
+    if (a.waits > 0) stats.mean_wait_ms = a.wait_sum / static_cast<double>(a.waits);
+    if (a.holds > 0) stats.mean_hold_ms = a.hold_sum / static_cast<double>(a.holds);
+  }
+  return out;
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, TrafficStats>
+Tracer::traffic_matrix() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TrafficStats> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kDatagramSent) {
+      TrafficStats& t = out[{e.site, e.peer}];
+      ++t.datagrams;
+      t.bytes += e.value;
+    } else if (e.kind == EventKind::kDatagramDropped) {
+      ++out[{e.site, e.peer}].dropped;
+    }
+  }
+  return out;
+}
+
+std::string Tracer::lock_timeline(std::uint64_t lock_id,
+                                  sim::Duration resolution) const {
+  if (resolution == 0) resolution = 1;
+  sim::Time end = 0;
+  std::uint32_t max_site = 0;
+  for (const Event& e : events_) {
+    end = std::max(end, e.time);
+    max_site = std::max(max_site, e.site);
+  }
+  const std::size_t columns =
+      std::min<std::size_t>(120, static_cast<std::size_t>(end / resolution) + 1);
+
+  std::vector<std::string> rows(max_site + 1, std::string(columns, '.'));
+  std::map<std::uint32_t, std::pair<sim::Time, bool>> held;  // site -> (since, shared)
+  auto paint = [&](std::uint32_t site, sim::Time from, sim::Time to,
+                   bool shared) {
+    auto c0 = static_cast<std::size_t>(from / resolution);
+    auto c1 = static_cast<std::size_t>(to / resolution);
+    for (std::size_t c = c0; c <= c1 && c < columns; ++c) {
+      rows[site][c] = shared ? 'r' : '#';
+    }
+  };
+  for (const Event& e : events_) {
+    if (e.object != lock_id) continue;
+    if (e.kind == EventKind::kLockGranted) {
+      held[e.site] = {e.time, e.value != 0};
+    } else if (e.kind == EventKind::kLockReleased ||
+               e.kind == EventKind::kLockBroken) {
+      auto it = held.find(e.site);
+      if (it != held.end()) {
+        paint(e.site, it->second.first, e.time, it->second.second);
+        held.erase(it);
+      }
+    }
+  }
+  for (const auto& [site, since] : held) {
+    paint(site, since.first, end, since.second);
+  }
+
+  std::ostringstream out;
+  out << "lock " << lock_id << " ownership ('#'=exclusive, 'r'=shared), "
+      << sim::to_ms(resolution) << " ms/column, 0.."
+      << sim::to_ms(end) << " ms\n";
+  for (std::uint32_t s = 0; s <= max_site; ++s) {
+    out << std::string(14 - std::min<std::size_t>(13, site_name(s).size()),
+                       ' ')
+        << site_name(s).substr(0, 13) << " |" << rows[s] << "|\n";
+  }
+  return out.str();
+}
+
+std::string Tracer::traffic_dot() const {
+  std::ostringstream out;
+  out << "digraph mocha_traffic {\n  rankdir=LR;\n";
+  auto matrix = traffic_matrix();
+  std::vector<bool> mentioned;
+  for (const auto& [pair, stats] : matrix) {
+    const auto [src, dst] = pair;
+    for (std::uint32_t s : {src, dst}) {
+      if (s >= mentioned.size()) mentioned.resize(s + 1, false);
+      if (!mentioned[s]) {
+        out << "  n" << s << " [label=\"" << site_name(s) << "\"];\n";
+        mentioned[s] = true;
+      }
+    }
+    out << "  n" << src << " -> n" << dst << " [label=\"" << stats.datagrams
+        << " dgrams / " << (stats.bytes + 512) / 1024 << " KB\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string Tracer::event_log() const {
+  std::ostringstream out;
+  for (const Event& e : events_) {
+    out << "[" << sim::to_ms(e.time) << "ms] " << event_kind_name(e.kind)
+        << " " << site_name(e.site);
+    if (e.peer != e.site) out << " -> " << site_name(e.peer);
+    out << " obj=" << e.object << " val=" << e.value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mocha::trace

@@ -1,0 +1,54 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mocha::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+std::function<std::uint64_t()>& time_source() {
+  static std::function<std::uint64_t()> source;
+  return source;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Log::set_time_source(std::function<std::uint64_t()> source) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  time_source() = std::move(source);
+}
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::uint64_t t = time_source() ? time_source()() : 0;
+  std::fprintf(stderr, "[%10.3fms] %s %.*s: %.*s\n",
+               static_cast<double>(t) / 1000.0, level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mocha::util

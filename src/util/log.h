@@ -1,0 +1,62 @@
+// Minimal leveled logger. The simulation kernel installs a time source so log
+// lines carry *virtual* timestamps, which is what you want when debugging a
+// distributed protocol trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mocha::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Log {
+ public:
+  // Global minimum level; messages below it are dropped.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  // Source of timestamps printed on log lines (virtual microseconds).
+  // The simulation Scheduler installs/uninstalls itself here.
+  static void set_time_source(std::function<std::uint64_t()> source);
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LineBuilder() { Log::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace mocha::util
+
+#define MOCHA_LOG(level, component)                                       \
+  if (::mocha::util::Log::enabled(level))                                 \
+  ::mocha::util::log_detail::LineBuilder(level, component)
+
+#define MOCHA_TRACE(component) MOCHA_LOG(::mocha::util::LogLevel::kTrace, component)
+#define MOCHA_DEBUG(component) MOCHA_LOG(::mocha::util::LogLevel::kDebug, component)
+#define MOCHA_INFO(component) MOCHA_LOG(::mocha::util::LogLevel::kInfo, component)
+#define MOCHA_WARN(component) MOCHA_LOG(::mocha::util::LogLevel::kWarn, component)
+#define MOCHA_ERROR(component) MOCHA_LOG(::mocha::util::LogLevel::kError, component)

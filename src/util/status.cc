@@ -1,0 +1,25 @@
+#include "util/status.h"
+
+namespace mocha::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalid:
+      return "INVALID";
+    case StatusCode::kRejected:
+      return "REJECTED";
+    case StatusCode::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mocha::util

@@ -1,0 +1,84 @@
+// Lightweight status/result types for expected runtime failures (timeouts,
+// dead peers, missing names). Programming errors use exceptions/assertions.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mocha::util {
+
+enum class StatusCode {
+  kOk,
+  kTimeout,        // peer or operation did not respond in time
+  kUnavailable,    // peer known dead / connection refused
+  kNotFound,       // unknown name (lock, replica, class, host)
+  kInvalid,        // malformed request or argument
+  kRejected,       // request refused by policy (e.g. blacklisted node)
+  kShutdown,       // simulation or service shutting down
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Minimal expected-like result: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    require();
+    return *value_;
+  }
+  const T& value() const {
+    require();
+    return *value_;
+  }
+  T&& take() {
+    require();
+    return std::move(*value_);
+  }
+
+ private:
+  void require() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value() on error: " + status_.to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mocha::util

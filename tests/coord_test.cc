@@ -1,0 +1,172 @@
+// Tests for the coordination constructs (Barrier, Reduction) built on the
+// shared-object model.
+#include <gtest/gtest.h>
+
+#include "coord/barrier.h"
+#include "net/profiles.h"
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+
+namespace mocha::coord {
+namespace {
+
+using runtime::Mocha;
+using runtime::MochaSystem;
+using runtime::SiteId;
+
+struct Fixture {
+  sim::Scheduler sched;
+  MochaSystem sys;
+  replica::ReplicaSystem replicas;
+
+  explicit Fixture(int total_sites = 4)
+      : sys(sched, net::NetProfile::lan()),
+        replicas(make_sites(sys, total_sites), fast_opts()) {}
+
+  static MochaSystem& make_sites(MochaSystem& sys, int total) {
+    sys.add_site("home");
+    for (int i = 1; i < total; ++i) sys.add_site("s" + std::to_string(i));
+    return sys;
+  }
+
+  static replica::ReplicaOptions fast_opts() {
+    replica::ReplicaOptions opts;
+    opts.marshal_model = serial::MarshalCostModel::zero();
+    return opts;
+  }
+
+  std::unique_ptr<Barrier> attach_barrier(Mocha& mocha,
+                                          const std::string& name,
+                                          replica::LockId id) {
+    auto b = Barrier::attach(mocha, name, id);
+    while (!b.is_ok()) {
+      sched.sleep_for(sim::msec(30));
+      b = Barrier::attach(mocha, name, id);
+    }
+    return b.take();
+  }
+};
+
+TEST(Barrier, AllPartiesReleaseAfterLastArrival) {
+  Fixture fx;
+  std::vector<sim::Time> arrivals(3), releases(3);
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto barrier = Barrier::create(mocha, "b", 3, 50);
+    ASSERT_TRUE(barrier.is_ok());
+    arrivals[0] = fx.sched.now();
+    ASSERT_TRUE(barrier.value()->arrive_and_wait().is_ok());
+    releases[0] = fx.sched.now();
+  });
+  for (int w = 1; w <= 2; ++w) {
+    fx.sys.run_at(static_cast<SiteId>(w), [&, w](Mocha& mocha) {
+      fx.sched.sleep_for(sim::msec(100 * static_cast<sim::Duration>(w)));
+      auto barrier = fx.attach_barrier(mocha, "b", 50);
+      arrivals[static_cast<std::size_t>(w)] = fx.sched.now();
+      ASSERT_TRUE(barrier->arrive_and_wait().is_ok());
+      releases[static_cast<std::size_t>(w)] = fx.sched.now();
+    });
+  }
+  fx.sched.run();
+  const sim::Time last_arrival =
+      *std::max_element(arrivals.begin(), arrivals.end());
+  for (sim::Time r : releases) {
+    EXPECT_GE(r, last_arrival);  // nobody passes before everyone arrived
+    EXPECT_GT(r, 0u);
+  }
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  Fixture fx(3);
+  constexpr int kRounds = 3;
+  std::vector<int> rounds_done(3, 0);
+  bool phase_violation = false;
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto barrier = Barrier::create(mocha, "b", 3, 50);
+    ASSERT_TRUE(barrier.is_ok());
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(barrier.value()->arrive_and_wait().is_ok());
+      rounds_done[0] = i + 1;
+      for (int done : rounds_done) {
+        if (std::abs(done - (i + 1)) > 1) phase_violation = true;
+      }
+    }
+  });
+  for (int w = 1; w <= 2; ++w) {
+    fx.sys.run_at(static_cast<SiteId>(w), [&, w](Mocha& mocha) {
+      fx.sched.sleep_for(sim::msec(50));
+      auto barrier = fx.attach_barrier(mocha, "b", 50);
+      for (int i = 0; i < kRounds; ++i) {
+        fx.sched.sleep_for(sim::msec(10 * static_cast<sim::Duration>(w)));
+        ASSERT_TRUE(barrier->arrive_and_wait().is_ok());
+        rounds_done[static_cast<std::size_t>(w)] = i + 1;
+      }
+    });
+  }
+  fx.sched.run();
+  EXPECT_FALSE(phase_violation);  // nobody ever a full phase ahead
+  for (int done : rounds_done) EXPECT_EQ(done, kRounds);
+}
+
+TEST(Barrier, AttachLearnsPartyCount) {
+  Fixture fx(2);
+  std::int32_t parties = 0;
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto b = Barrier::create(mocha, "b", 7, 50);
+    ASSERT_TRUE(b.is_ok());
+  });
+  fx.sys.run_at(1, [&](Mocha& mocha) {
+    fx.sched.sleep_for(sim::msec(100));
+    auto b = fx.attach_barrier(mocha, "b", 50);
+    parties = b->parties();
+  });
+  fx.sched.run();
+  EXPECT_EQ(parties, 7);
+}
+
+TEST(Reduction, SumsContributionsAcrossSites) {
+  Fixture fx;
+  std::vector<double> totals(3, 0.0);
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto red = Reduction::create(mocha, "r", 3, 60);
+    ASSERT_TRUE(red.is_ok());
+    ASSERT_TRUE(red.value()->contribute(1.5).is_ok());
+    auto total = red.value()->await_total();
+    ASSERT_TRUE(total.is_ok());
+    totals[0] = total.value();
+  });
+  for (int w = 1; w <= 2; ++w) {
+    fx.sys.run_at(static_cast<SiteId>(w), [&, w](Mocha& mocha) {
+      fx.sched.sleep_for(sim::msec(80));
+      auto red = Reduction::attach(mocha, "r", 60);
+      while (!red.is_ok()) {
+        fx.sched.sleep_for(sim::msec(30));
+        red = Reduction::attach(mocha, "r", 60);
+      }
+      ASSERT_TRUE(red.value()->contribute(w * 10.0).is_ok());
+      auto total = red.value()->await_total();
+      ASSERT_TRUE(total.is_ok());
+      totals[static_cast<std::size_t>(w)] = total.value();
+    });
+  }
+  fx.sched.run();
+  for (double t : totals) EXPECT_DOUBLE_EQ(t, 1.5 + 10.0 + 20.0);
+}
+
+TEST(Reduction, SinglePartyImmediate) {
+  Fixture fx(1);
+  double total = 0;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto red = Reduction::create(mocha, "r", 1, 60);
+    ASSERT_TRUE(red.is_ok());
+    ASSERT_TRUE(red.value()->contribute(3.25).is_ok());
+    auto t = red.value()->await_total();
+    ASSERT_TRUE(t.is_ok());
+    total = t.value();
+  });
+  fx.sched.run();
+  EXPECT_DOUBLE_EQ(total, 3.25);
+}
+
+}  // namespace
+}  // namespace mocha::coord

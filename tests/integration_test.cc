@@ -1,0 +1,370 @@
+// Full-stack integration and property tests: complete applications over the
+// simulated wide area, loss injection, determinism, and scale.
+#include <gtest/gtest.h>
+
+#include "net/profiles.h"
+#include "replica/generated.h"
+#include "replica/lock.h"
+#include "replica/replica.h"
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+
+namespace mocha {
+namespace {
+
+using runtime::Mocha;
+using runtime::MochaSystem;
+using runtime::Parameter;
+using runtime::SiteId;
+
+replica::ReplicaOptions fast_opts() {
+  replica::ReplicaOptions opts;
+  opts.marshal_model = serial::MarshalCostModel::zero();
+  opts.transfer_timeout = sim::msec(600);
+  opts.poll_window = sim::msec(600);
+  opts.default_expected_hold = sim::msec(500);
+  opts.lease_grace = sim::msec(300);
+  opts.lease_check_interval = sim::msec(200);
+  opts.heartbeat_timeout = sim::msec(400);
+  return opts;
+}
+
+// --- worker task used by the spawn-based integration test ---
+
+struct CounterWorker : runtime::MochaTask {
+  void mochastart(Mocha& mocha) override {
+    const std::int32_t rounds = mocha.parameter.get_int32("rounds");
+    auto& sched = mocha.system().scheduler();
+    auto r = replica::Replica::attach(mocha, "shared-counter");
+    while (!r.is_ok()) {
+      sched.sleep_for(sim::msec(50));
+      r = replica::Replica::attach(mocha, "shared-counter");
+    }
+    replica::ReplicaLock lk(9, mocha);
+    lk.associate(r.value());
+    for (std::int32_t i = 0; i < rounds; ++i) {
+      if (!lk.lock().is_ok()) break;
+      r.value()->int_data()[0] += 1;
+      (void)lk.unlock();
+      sched.sleep_for(sim::msec(20));
+    }
+    mocha.result.add("done", true);
+    mocha.return_results();
+  }
+};
+runtime::TaskRegistration<CounterWorker> reg_counter_worker("CounterWorker");
+
+TEST(Integration, SpawnedWorkersShareACounter) {
+  // The full stack at once: remote evaluation ships workers to three sites;
+  // each increments a lock-guarded replica.
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::lan());
+  sys.add_site("home");
+  for (int i = 1; i <= 3; ++i) sys.add_site("w" + std::to_string(i));
+  replica::ReplicaSystem replicas(sys, fast_opts());
+
+  std::int32_t final_value = -1;
+  sys.run_main([&](Mocha& mocha) {
+    auto counter = replica::Replica::create(mocha, "shared-counter",
+                                            std::vector<std::int32_t>{0}, 4);
+    replica::ReplicaLock lk(9, mocha);
+    lk.associate(counter);
+
+    Parameter p;
+    p.add("rounds", std::int32_t{4});
+    std::vector<runtime::ResultHandle> handles;
+    for (int i = 0; i < 3; ++i) handles.push_back(mocha.spawn("CounterWorker", p));
+    for (auto& h : handles) {
+      auto r = h.wait(sim::seconds(300));
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    }
+    ASSERT_TRUE(lk.lock().is_ok());
+    final_value = counter->int_data()[0];
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sched.run();
+  EXPECT_EQ(final_value, 12);
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, CounterConvergesUnderPacketLoss) {
+  // The replica protocol sits on MochaNet's reliability; random datagram
+  // loss must never corrupt the counter, only slow things down.
+  sim::Scheduler sched;
+  net::NetProfile lossy = net::NetProfile::lan();
+  lossy.loss_rate = GetParam();
+  lossy.mn_rto_us = 2000;
+  lossy.mn_max_retries = 40;
+  MochaSystem sys(sched, lossy, {}, /*seed=*/42);
+  sys.add_site("home");
+  sys.add_site("a");
+  sys.add_site("b");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+
+  std::int32_t final_value = -1;
+  auto worker = [&](Mocha& mocha, bool creator) {
+    std::shared_ptr<replica::Replica> r;
+    if (creator) {
+      r = replica::Replica::create(mocha, "c", std::vector<std::int32_t>{0},
+                                   3);
+    } else {
+      sched.sleep_for(sim::msec(100));
+      auto attached = replica::Replica::attach(mocha, "c");
+      while (!attached.is_ok()) {
+        sched.sleep_for(sim::msec(50));
+        attached = replica::Replica::attach(mocha, "c");
+      }
+      r = attached.value();
+    }
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    for (int i = 0; i < 4; ++i) {
+      util::Status s = lk.lock();
+      ASSERT_TRUE(s.is_ok()) << s.to_string();
+      r->int_data()[0] += 1;
+      final_value = r->int_data()[0];
+      ASSERT_TRUE(lk.unlock().is_ok());
+      sched.sleep_for(sim::msec(30));
+    }
+  };
+  sys.run_at(0, [&](Mocha& m) { worker(m, true); });
+  sys.run_at(1, [&](Mocha& m) { worker(m, false); });
+  sys.run_at(2, [&](Mocha& m) { worker(m, false); });
+  sched.run_until(sim::seconds(600));
+  EXPECT_EQ(final_value, 12) << "loss=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.30),
+                         [](const auto& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Scheduler sched;
+    MochaSystem sys(sched, net::NetProfile::wan(), {}, /*seed=*/7);
+    sys.add_site("home");
+    sys.add_site("a");
+    sys.add_site("b");
+    replica::ReplicaSystem replicas(sys, fast_opts());
+    std::vector<std::pair<sim::Time, std::int32_t>> trace;
+    auto worker = [&](Mocha& mocha, bool creator) {
+      std::shared_ptr<replica::Replica> r;
+      if (creator) {
+        r = replica::Replica::create(mocha, "c",
+                                     std::vector<std::int32_t>{0}, 3);
+      } else {
+        sched.sleep_for(sim::msec(100));
+        auto attached = replica::Replica::attach(mocha, "c");
+        while (!attached.is_ok()) {
+          sched.sleep_for(sim::msec(50));
+          attached = replica::Replica::attach(mocha, "c");
+        }
+        r = attached.value();
+      }
+      replica::ReplicaLock lk(1, mocha);
+      lk.associate(r);
+      for (int i = 0; i < 3; ++i) {
+        if (!lk.lock().is_ok()) return;
+        r->int_data()[0] += 1;
+        trace.emplace_back(sched.now(), r->int_data()[0]);
+        (void)lk.unlock();
+        sched.sleep_for(sim::msec(40));
+      }
+    };
+    sys.run_at(0, [&](Mocha& m) { worker(m, true); });
+    sys.run_at(1, [&](Mocha& m) { worker(m, false); });
+    sys.run_at(2, [&](Mocha& m) { worker(m, false); });
+    sched.run();
+    return trace;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);  // identical virtual times AND values
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Integration, ManyIndependentLocksInterleave) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::lan());
+  sys.add_site("home");
+  sys.add_site("a");
+  sys.add_site("b");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+  constexpr int kLocks = 8;
+  int completed = 0;
+
+  sys.run_at(0, [&](Mocha& mocha) {
+    for (int l = 0; l < kLocks; ++l) {
+      replica::Replica::create(mocha, "obj" + std::to_string(l),
+                               std::vector<std::int32_t>{l}, 3);
+    }
+  });
+  for (SiteId s : {SiteId{1}, SiteId{2}}) {
+    sys.run_at(s, [&](Mocha& mocha) {
+      sched.sleep_for(sim::msec(150));
+      for (int l = 0; l < kLocks; ++l) {
+        auto r = replica::Replica::attach(mocha, "obj" + std::to_string(l));
+        ASSERT_TRUE(r.is_ok());
+        replica::ReplicaLock lk(static_cast<replica::LockId>(100 + l), mocha);
+        lk.associate(r.value());
+        ASSERT_TRUE(lk.lock().is_ok());
+        r.value()->int_data()[0] += 10;
+        ASSERT_TRUE(lk.unlock().is_ok());
+        ++completed;
+      }
+    });
+  }
+  sched.run();
+  EXPECT_EQ(completed, 2 * kLocks);
+}
+
+TEST(Integration, LargeObjectReplicaRoundTrips) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::lan());
+  sys.add_site("home");
+  sys.add_site("remote");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+
+  std::string got;
+  const std::string big(100 * 1024, 'x');
+  sys.run_at(0, [&](Mocha& mocha) {
+    auto r = replica::StringReplica::create(mocha, "doc",
+                                            replica::SharedString(big), 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    replica::StringReplica::get(*r).value[0] = 'y';
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sys.run_at(1, [&](Mocha& mocha) {
+    sched.sleep_for(sim::seconds(2));
+    auto r = replica::Replica::attach(mocha, "doc");
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    ASSERT_TRUE(lk.lock().is_ok());
+    got = replica::StringReplica::get(*r.value()).value;
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sched.run();
+  ASSERT_EQ(got.size(), big.size());
+  EXPECT_EQ(got[0], 'y');
+  EXPECT_EQ(got[1], 'x');
+}
+
+TEST(Integration, CableModemProfileWorksEndToEnd) {
+  // The paper-conclusion environment: slower, higher latency, but the full
+  // protocol stack must still function.
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::cable_modem());
+  sys.add_site("unix-workstation");
+  sys.add_site("win95-pc");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+
+  std::int32_t got = -1;
+  sim::Duration lock_latency = 0;
+  sys.run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "idx",
+                                      std::vector<std::int32_t>{3}, 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    r->int_data()[0] = 8;
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sys.run_at(1, [&](Mocha& mocha) {
+    sched.sleep_for(sim::seconds(2));
+    auto r = replica::Replica::attach(mocha, "idx");
+    ASSERT_TRUE(r.is_ok());
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    ASSERT_TRUE(lk.lock().is_ok());
+    lock_latency = lk.last_grant_latency();
+    got = r.value()->int_data()[0];
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sched.run();
+  EXPECT_EQ(got, 8);
+  // Cable-modem lock acquisition must be slower than the paper's WAN (19 ms).
+  EXPECT_GT(lock_latency, sim::msec(40));
+}
+
+TEST(Integration, HeterogeneousPayloadTypesUnderOneLock) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::lan());
+  sys.add_site("home");
+  sys.add_site("remote");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+
+  bool checked = false;
+  sys.run_at(0, [&](Mocha& mocha) {
+    auto ints = replica::Replica::create(mocha, "ints",
+                                         std::vector<std::int32_t>{1, 2}, 2);
+    auto doubles = replica::Replica::create(mocha, "doubles",
+                                            std::vector<double>{0.5}, 2);
+    auto text = replica::Replica::create(mocha, "text",
+                                         serial::Value{std::string("hi")}, 2);
+    auto blob = replica::Replica::create(mocha, "blob", util::Buffer{9, 9}, 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(ints);
+    lk.associate(doubles);
+    lk.associate(text);
+    lk.associate(blob);
+    ASSERT_TRUE(lk.lock().is_ok());
+    ints->int_data().push_back(3);   // replicas may grow (paper §2.1)
+    doubles->double_data()[0] = 2.5;
+    text->string_data() = "howdy";
+    blob->byte_data().push_back(7);
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  sys.run_at(1, [&](Mocha& mocha) {
+    sched.sleep_for(sim::msec(500));
+    auto ints = replica::Replica::attach(mocha, "ints");
+    auto doubles = replica::Replica::attach(mocha, "doubles");
+    auto text = replica::Replica::attach(mocha, "text");
+    auto blob = replica::Replica::attach(mocha, "blob");
+    ASSERT_TRUE(ints.is_ok() && doubles.is_ok() && text.is_ok() &&
+                blob.is_ok());
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(ints.value());
+    lk.associate(doubles.value());
+    lk.associate(text.value());
+    lk.associate(blob.value());
+    ASSERT_TRUE(lk.lock().is_ok());
+    EXPECT_EQ(ints.value()->int_data().size(), 3u);  // growth propagated
+    EXPECT_DOUBLE_EQ(doubles.value()->double_data()[0], 2.5);
+    EXPECT_EQ(text.value()->string_data(), "howdy");
+    EXPECT_EQ(blob.value()->byte_data().size(), 3u);
+    ASSERT_TRUE(lk.unlock().is_ok());
+    checked = true;
+  });
+  sched.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Integration, SignatureMethodsReportTypeAndSize) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::instant());
+  sys.add_site("home");
+  replica::ReplicaSystem replicas(sys, fast_opts());
+  sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "sig",
+                                      std::vector<std::int32_t>(10), 1);
+    EXPECT_STREQ(r->type_name(), "int32[]");
+    EXPECT_EQ(r->data_size(), 5 + 10 * 4u);
+    auto obj = replica::StringReplica::create(
+        mocha, "sig2", replica::SharedString("abc"), 1);
+    EXPECT_STREQ(obj->type_name(), "object");
+    EXPECT_GT(obj->data_size(), 3u);
+  });
+  sched.run();
+}
+
+}  // namespace
+}  // namespace mocha

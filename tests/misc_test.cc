@@ -1,0 +1,204 @@
+// API-contract tests: misuse, boundary, and ordering behaviours users hit.
+#include <gtest/gtest.h>
+
+#include "coord/barrier.h"
+#include "net/profiles.h"
+#include "replica/lock.h"
+#include "replica/replica.h"
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+
+namespace mocha {
+namespace {
+
+using runtime::Mocha;
+using runtime::MochaSystem;
+using runtime::Parameter;
+
+struct Fixture {
+  sim::Scheduler sched;
+  MochaSystem sys;
+  replica::ReplicaSystem replicas;
+
+  explicit Fixture(int total = 2)
+      : sys(sched, net::NetProfile::instant()), replicas(make(sys, total)) {}
+
+  static MochaSystem& make(MochaSystem& sys, int total) {
+    sys.add_site("home");
+    for (int i = 1; i < total; ++i) sys.add_site("s" + std::to_string(i));
+    return sys;
+  }
+};
+
+TEST(ApiContract, UnlockWithoutLockIsInvalid) {
+  Fixture fx;
+  util::Status status = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>{0}, 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    status = lk.unlock();
+  });
+  fx.sched.run();
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalid);
+}
+
+TEST(ApiContract, DoubleUnlockSecondIsInvalid) {
+  Fixture fx;
+  util::Status second = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>{0}, 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    ASSERT_TRUE(lk.unlock().is_ok());
+    second = lk.unlock();
+  });
+  fx.sched.run();
+  EXPECT_EQ(second.code(), util::StatusCode::kInvalid);
+}
+
+TEST(ApiContract, AssociateSameReplicaTwiceIsIdempotent) {
+  Fixture fx;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>{0}, 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    r->int_data()[0] = 7;
+    ASSERT_TRUE(lk.unlock().is_ok());
+    ASSERT_TRUE(lk.lock().is_ok());
+    EXPECT_EQ(r->int_data()[0], 7);
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sched.run();
+}
+
+TEST(ApiContract, TwoReplicaLockObjectsSameIdShareState) {
+  // The paper's model: ReplicaLock objects with the same id at one site are
+  // views of the same lock.
+  Fixture fx;
+  bool visible = false;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>{0}, 1);
+    replica::ReplicaLock lk1(1, mocha);
+    lk1.associate(r);
+    replica::ReplicaLock lk2(1, mocha);  // second view
+    ASSERT_TRUE(lk1.lock().is_ok());
+    visible = lk2.held();  // the *lock* is held, whichever object you ask
+    ASSERT_TRUE(lk2.unlock().is_ok());  // releasable through either view
+  });
+  fx.sched.run();
+  EXPECT_TRUE(visible);
+}
+
+TEST(ApiContract, ReplicaWithoutReplicaSystemThrows) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::instant());
+  sys.add_site("home");
+  bool threw = false;
+  sys.run_main([&](Mocha& mocha) {
+    try {
+      replica::Replica::create(mocha, "x", std::vector<int32_t>{0}, 1);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  sched.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ApiContract, ResultHandleSecondWaitTimesOutCleanly) {
+  Fixture fx;
+  util::Status second = util::Status::ok();
+  fx.sys.class_repository().put_synthetic("Noop", 100);
+  runtime::TaskRegistry::instance().register_class(
+      "Noop", [] {
+        struct T : runtime::MochaTask {
+          void mochastart(Mocha& mocha) override { mocha.return_results(); }
+        };
+        return std::make_unique<T>();
+      });
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto handle = mocha.spawn("Noop", Parameter{});
+    ASSERT_TRUE(handle.wait(sim::seconds(30)).is_ok());
+    second = handle.wait(sim::msec(100)).status();  // result already consumed
+  });
+  fx.sched.run();
+  EXPECT_EQ(second.code(), util::StatusCode::kTimeout);
+}
+
+TEST(ApiContract, SinglePartyBarrierNeverBlocks) {
+  Fixture fx(1);
+  int trips = 0;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto barrier = coord::Barrier::create(mocha, "b", 1, 50);
+    ASSERT_TRUE(barrier.is_ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(barrier.value()->arrive_and_wait().is_ok());
+      ++trips;
+    }
+  });
+  fx.sched.run();
+  EXPECT_EQ(trips, 3);
+}
+
+TEST(ApiContract, ReplicaDataMayGrowAndShrink) {
+  // Paper §2.1: "the amount of shared data contained in a Replica may grow
+  // and shrink as the needs of the Replica vary during application execution"
+  Fixture fx;
+  std::size_t remote_size = 0;
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>(10), 2);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    r->int_data().resize(3);  // shrink
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sys.run_at(1, [&](Mocha& mocha) {
+    fx.sched.sleep_for(sim::msec(100));
+    auto r = replica::Replica::attach(mocha, "x");
+    ASSERT_TRUE(r.is_ok());
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    ASSERT_TRUE(lk.lock().is_ok());
+    remote_size = r.value()->int_data().size();
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sched.run();
+  EXPECT_EQ(remote_size, 3u);
+}
+
+TEST(ApiContract, WrongTypedAccessorThrows) {
+  Fixture fx;
+  bool threw = false;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "x", std::vector<int32_t>{1}, 1);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    try {
+      r->double_data();
+    } catch (const replica::EntryConsistencyError&) {
+      threw = true;
+    }
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sched.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ApiContract, HostfileFallsBackToHomeWhenAlone) {
+  sim::Scheduler sched;
+  MochaSystem sys(sched, net::NetProfile::instant());
+  sys.add_site("home");
+  auto hosts = sys.hostfile();
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], sys.home_site());
+}
+
+}  // namespace
+}  // namespace mocha

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "net/profiles.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+
+namespace mocha::runtime {
+namespace {
+
+// --- ValueBag ---
+
+TEST(ValueBag, AddAndGetTyped) {
+  ValueBag bag;
+  bag.add("count", std::int32_t{5});
+  bag.add("ratio", 0.5);
+  bag.add("name", "mocha");
+  bag.add("flags", std::vector<std::int32_t>{1, 2, 3});
+  EXPECT_EQ(bag.get_int32("count"), 5);
+  EXPECT_DOUBLE_EQ(bag.get_double("ratio"), 0.5);
+  EXPECT_EQ(bag.get_string("name"), "mocha");
+  EXPECT_EQ(bag.get_int_array("flags").size(), 3u);
+}
+
+TEST(ValueBag, MissingKeyThrows) {
+  ValueBag bag;
+  EXPECT_THROW(bag.get_int32("nope"), ParameterError);
+}
+
+TEST(ValueBag, WrongTypeThrows) {
+  ValueBag bag;
+  bag.add("x", 1.5);
+  EXPECT_THROW(bag.get_int32("x"), ParameterError);
+  EXPECT_NO_THROW(bag.get_double("x"));
+}
+
+TEST(ValueBag, RoundTripsThroughWire) {
+  ValueBag bag;
+  bag.add("a", std::int32_t{-1});
+  bag.add("b", std::string("hey"));
+  bag.add("c", std::vector<double>{1.0, 2.0});
+  ValueBag back = ValueBag::from_buffer(bag.to_buffer());
+  EXPECT_EQ(back.get_int32("a"), -1);
+  EXPECT_EQ(back.get_string("b"), "hey");
+  EXPECT_EQ(back.get_double_array("c").size(), 2u);
+}
+
+TEST(ValueBag, WireSizeMatchesEncoding) {
+  ValueBag bag;
+  bag.add("key", std::int64_t{77});
+  bag.add("other", util::Buffer(100));
+  EXPECT_EQ(bag.to_buffer().size(), bag.wire_size());
+}
+
+TEST(ValueBag, OverwriteReplacesValue) {
+  ValueBag bag;
+  bag.add("k", std::int32_t{1});
+  bag.add("k", std::int32_t{2});
+  EXPECT_EQ(bag.get_int32("k"), 2);
+  EXPECT_EQ(bag.size(), 1u);
+}
+
+// --- Tasks used by the system tests ---
+
+struct HelloTask : MochaTask {
+  void mochastart(Mocha& mocha) override {
+    double start = mocha.parameter.get_double("start");
+    mocha.mocha_println("Returning as a return value " +
+                        std::to_string(start + 1));
+    mocha.result.add("returnvalue", start + 1);
+    mocha.return_results();
+  }
+};
+TaskRegistration<HelloTask> reg_hello("Myhello");
+
+struct ThrowingTask : MochaTask {
+  void mochastart(Mocha&) override { throw std::runtime_error("kaboom"); }
+};
+TaskRegistration<ThrowingTask> reg_throwing("Thrower");
+
+struct RecursiveTask : MochaTask {
+  void mochastart(Mocha& mocha) override {
+    std::int32_t depth = mocha.parameter.get_int32("depth");
+    if (depth <= 0) {
+      mocha.result.add("sum", std::int32_t{1});
+      mocha.return_results();
+      return;
+    }
+    Parameter p;
+    p.add("depth", depth - 1);
+    auto handle = mocha.spawn("Recursive", p);
+    auto sub = handle.wait(sim::seconds(60));
+    ASSERT_TRUE(sub.is_ok()) << sub.status().to_string();
+    mocha.result.add("sum", sub.value().get_int32("sum") + 1);
+    mocha.return_results();
+  }
+};
+TaskRegistration<RecursiveTask> reg_recursive("Recursive");
+
+struct NeedsLibraryTask : MochaTask {
+  void mochastart(Mocha& mocha) override {
+    // Demand-pull a helper class "as encountered" (paper §2).
+    util::Status s = mocha.require_class("ImageCodec");
+    mocha.result.add("pulled", s.is_ok());
+    mocha.return_results();
+  }
+};
+TaskRegistration<NeedsLibraryTask> reg_needslib("NeedsLibrary");
+
+struct SlowTask : MochaTask {
+  void mochastart(Mocha& mocha) override {
+    mocha.system().scheduler().sleep_for(sim::msec(50));
+    mocha.result.add("done", true);
+    mocha.return_results();
+  }
+};
+TaskRegistration<SlowTask> reg_slow("Slow");
+
+struct Fixture {
+  sim::Scheduler sched;
+  MochaSystem sys;
+  explicit Fixture(int remote_sites = 2,
+                   net::NetProfile profile = net::NetProfile::lan(),
+                   MochaOptions opts = {})
+      : sys(sched, std::move(profile), std::move(opts)) {
+    sys.add_site("home");
+    for (int i = 0; i < remote_sites; ++i) {
+      sys.add_site("remote" + std::to_string(i));
+    }
+  }
+};
+
+TEST(MochaSystem, SpawnReturnsResults) {
+  Fixture fx;
+  fx.sys.class_repository().put_synthetic("Myhello", 4000);
+  double got = 0;
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 5.0);
+    auto handle = mocha.spawn("Myhello", p);
+    auto result = handle.wait(sim::seconds(30));
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    got = result.value().get_double("returnvalue");
+  });
+  fx.sched.run();
+  EXPECT_DOUBLE_EQ(got, 6.0);
+}
+
+TEST(MochaSystem, RemotePrintReachesHomeEventLog) {
+  Fixture fx;
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 1.0);
+    auto handle = mocha.spawn("Myhello", p);
+    ASSERT_TRUE(handle.wait(sim::seconds(30)).is_ok());
+  });
+  fx.sched.run();
+  auto prints = fx.sys.event_log().of_kind(EventKind::kPrint);
+  ASSERT_EQ(prints.size(), 1u);
+  EXPECT_NE(prints[0].detail.find("Returning as a return value"),
+            std::string::npos);
+  EXPECT_EQ(prints[0].site, "remote0");
+}
+
+TEST(MochaSystem, RoundRobinSpreadsTasks) {
+  Fixture fx(/*remote_sites=*/3);
+  std::vector<SiteId> sources;
+  fx.sys.run_main([&](Mocha& mocha) {
+    std::vector<ResultHandle> handles;
+    Parameter p;
+    p.add("start", 0.0);
+    for (int i = 0; i < 3; ++i) handles.push_back(mocha.spawn("Myhello", p));
+    for (auto& h : handles) {
+      ASSERT_TRUE(h.wait(sim::seconds(30)).is_ok());
+    }
+  });
+  fx.sched.run();
+  // 3 spawns over 3 remote sites -> each site ran exactly one.
+  auto spawns = fx.sys.event_log().of_kind(EventKind::kSpawn);
+  ASSERT_EQ(spawns.size(), 3u);
+  std::set<std::string> targets;
+  for (const auto& e : spawns) {
+    targets.insert(e.detail.substr(e.detail.find("-> ")));
+  }
+  EXPECT_EQ(targets.size(), 3u);
+}
+
+TEST(MochaSystem, SpawnAtTargetsExplicitSite) {
+  Fixture fx(/*remote_sites=*/3);
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 0.0);
+    auto handle = mocha.spawn_at(2, "Myhello", p);
+    ASSERT_TRUE(handle.wait(sim::seconds(30)).is_ok());
+  });
+  fx.sched.run();
+  auto done = fx.sys.event_log().of_kind(EventKind::kTaskDone);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].site, "remote1");  // site id 2 is the second remote
+}
+
+TEST(MochaSystem, TaskExceptionSurfacesAsRejectedResult) {
+  Fixture fx;
+  util::Status status = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto handle = mocha.spawn("Thrower", Parameter{});
+    status = handle.wait(sim::seconds(30)).status();
+  });
+  fx.sched.run();
+  EXPECT_EQ(status.code(), util::StatusCode::kRejected);
+  EXPECT_NE(status.message().find("kaboom"), std::string::npos);
+  EXPECT_EQ(fx.sys.event_log().count(EventKind::kStackTrace), 1u);
+}
+
+TEST(MochaSystem, UnknownClassRejected) {
+  Fixture fx;
+  util::Status status = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto handle = mocha.spawn("NoSuchClass", Parameter{});
+    status = handle.wait(sim::seconds(30)).status();
+  });
+  fx.sched.run();
+  EXPECT_EQ(status.code(), util::StatusCode::kRejected);
+}
+
+TEST(MochaSystem, PolicyDeniesForeignTasks) {
+  Fixture fx(0);
+  SitePolicy lockdown;
+  lockdown.accept_foreign_tasks = false;
+  SiteId fortress = fx.sys.add_site("fortress", lockdown);
+  util::Status status = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 0.0);
+    auto handle = mocha.spawn_at(fortress, "Myhello", p);
+    status = handle.wait(sim::seconds(30)).status();
+  });
+  fx.sched.run();
+  EXPECT_EQ(status.code(), util::StatusCode::kRejected);
+  EXPECT_NE(status.message().find("denied"), std::string::npos);
+}
+
+TEST(MochaSystem, PolicyDeniesSpecificClass) {
+  Fixture fx(0);
+  SitePolicy policy;
+  policy.denied_classes.insert("Thrower");
+  SiteId picky = fx.sys.add_site("picky", policy);
+  util::Status denied = util::Status::ok();
+  util::Status allowed(util::StatusCode::kInvalid, "unset");
+  fx.sys.run_main([&](Mocha& mocha) {
+    denied = mocha.spawn_at(picky, "Thrower", Parameter{})
+                 .wait(sim::seconds(30))
+                 .status();
+    Parameter p;
+    p.add("start", 0.0);
+    allowed = mocha.spawn_at(picky, "Myhello", p)
+                  .wait(sim::seconds(30))
+                  .status();
+  });
+  fx.sched.run();
+  EXPECT_EQ(denied.code(), util::StatusCode::kRejected);
+  EXPECT_TRUE(allowed.is_ok()) << allowed.to_string();
+}
+
+TEST(MochaSystem, CapacityQueuesSpawns) {
+  Fixture fx(0);
+  SitePolicy tiny;
+  tiny.max_servers = 1;
+  SiteId busy = fx.sys.add_site("busy", tiny);
+  int completed = 0;
+  fx.sys.run_main([&](Mocha& mocha) {
+    std::vector<ResultHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+      handles.push_back(mocha.spawn_at(busy, "Slow", Parameter{}));
+    }
+    for (auto& h : handles) {
+      if (h.wait(sim::seconds(60)).is_ok()) ++completed;
+    }
+  });
+  fx.sched.run();
+  EXPECT_EQ(completed, 4);  // all ran, serialized by the capacity limit
+}
+
+TEST(MochaSystem, RecursiveSpawnWorks) {
+  Fixture fx(/*remote_sites=*/3);
+  std::int32_t sum = 0;
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("depth", std::int32_t{3});
+    auto result = mocha.spawn("Recursive", p).wait(sim::seconds(120));
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    sum = result.value().get_int32("sum");
+  });
+  fx.sched.run();
+  EXPECT_EQ(sum, 4);
+}
+
+TEST(MochaSystem, DemandPullFetchesClassOnce) {
+  Fixture fx(1);
+  fx.sys.class_repository().put_synthetic("ImageCodec", 20000);
+  bool pulled1 = false, pulled2 = false;
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r1 = mocha.spawn_at(1, "NeedsLibrary", Parameter{})
+                  .wait(sim::seconds(30));
+    ASSERT_TRUE(r1.is_ok()) << r1.status().to_string();
+    pulled1 = r1.value().get_bool("pulled");
+    auto r2 = mocha.spawn_at(1, "NeedsLibrary", Parameter{})
+                  .wait(sim::seconds(30));
+    ASSERT_TRUE(r2.is_ok());
+    pulled2 = r2.value().get_bool("pulled");
+  });
+  fx.sched.run();
+  EXPECT_TRUE(pulled1);
+  EXPECT_TRUE(pulled2);
+  // Second use hit the site's class cache: exactly one pull over the wire.
+  EXPECT_EQ(fx.sys.class_pulls(), 1u);
+}
+
+TEST(MochaSystem, DemandPullOfMissingClassFails) {
+  Fixture fx(1);
+  util::Status got = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    auto r = mocha.spawn_at(1, "NeedsLibrary", Parameter{})
+                 .wait(sim::seconds(30));
+    ASSERT_TRUE(r.is_ok());
+    // Task reports pull failure via its result.
+    got = util::Status(r.value().get_bool("pulled")
+                           ? util::StatusCode::kOk
+                           : util::StatusCode::kNotFound,
+                       "");
+  });
+  fx.sched.run();
+  EXPECT_EQ(got.code(), util::StatusCode::kNotFound);
+}
+
+TEST(MochaSystem, SpawnToDeadSiteTimesOut) {
+  Fixture fx(1);
+  fx.sys.network().kill_node(1);
+  util::Status status = util::Status::ok();
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 0.0);
+    auto handle = mocha.spawn_at(1, "Myhello", p);
+    status = handle.wait(sim::msec(500)).status();
+  });
+  fx.sched.run();
+  EXPECT_EQ(status.code(), util::StatusCode::kTimeout);
+}
+
+TEST(MochaSystem, HostfileOverrideRestrictsTargets) {
+  Fixture fx(/*remote_sites=*/3);
+  fx.sys.set_hostfile({2});
+  fx.sys.run_main([&](Mocha& mocha) {
+    Parameter p;
+    p.add("start", 0.0);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(mocha.spawn("Myhello", p).wait(sim::seconds(30)).is_ok());
+    }
+  });
+  fx.sched.run();
+  for (const auto& e : fx.sys.event_log().of_kind(EventKind::kTaskDone)) {
+    EXPECT_EQ(e.site, "remote1");
+  }
+}
+
+TEST(MochaSystem, WanSpawnLatencyExceedsLan) {
+  auto measure = [](net::NetProfile profile) {
+    sim::Scheduler sched;
+    MochaSystem sys(sched, std::move(profile));
+    sys.add_site("home");
+    sys.add_site("remote");
+    sim::Duration elapsed = 0;
+    sys.run_main([&](Mocha& mocha) {
+      Parameter p;
+      p.add("start", 0.0);
+      sim::Time t0 = sched.now();
+      ASSERT_TRUE(mocha.spawn("Myhello", p).wait(sim::seconds(30)).is_ok());
+      elapsed = sched.now() - t0;
+    });
+    sched.run();
+    return elapsed;
+  };
+  EXPECT_GT(measure(net::NetProfile::wan()), measure(net::NetProfile::lan()));
+}
+
+}  // namespace
+}  // namespace mocha::runtime

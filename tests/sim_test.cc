@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/mailbox.h"
+#include "sim/scheduler.h"
+
+namespace mocha::sim {
+namespace {
+
+TEST(Scheduler, VirtualTimeAdvancesWithSleep) {
+  Scheduler sched;
+  Time woke_at = 0;
+  sched.spawn("sleeper", [&] {
+    sched.sleep_for(msec(5));
+    woke_at = sched.now();
+  });
+  sched.run();
+  EXPECT_EQ(woke_at, msec(5));
+  EXPECT_EQ(sched.now(), msec(5));
+}
+
+TEST(Scheduler, ProcessesInterleaveDeterministically) {
+  std::vector<std::string> order;
+  {
+    Scheduler sched;
+    sched.spawn("a", [&] {
+      order.push_back("a1");
+      sched.sleep_for(10);
+      order.push_back("a2");
+      sched.sleep_for(30);
+      order.push_back("a3");
+    });
+    sched.spawn("b", [&] {
+      order.push_back("b1");
+      sched.sleep_for(20);
+      order.push_back("b2");
+    });
+    sched.run();
+  }
+  std::vector<std::string> expected{"a1", "b1", "a2", "b2", "a3"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Scheduler, IdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    std::vector<std::pair<std::string, Time>> trace;
+    Scheduler sched;
+    for (int i = 0; i < 5; ++i) {
+      sched.spawn("p" + std::to_string(i), [&, i] {
+        for (int k = 0; k < 3; ++k) {
+          sched.sleep_for(static_cast<Duration>(7 * (i + 1)));
+          trace.emplace_back("p" + std::to_string(i), sched.now());
+        }
+      });
+    }
+    sched.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, PostAtRunsAtRequestedTime) {
+  Scheduler sched;
+  Time fired = 0;
+  sched.post_at(msec(3), [&] { fired = sched.now(); });
+  sched.run();
+  EXPECT_EQ(fired, msec(3));
+}
+
+TEST(Scheduler, PostInPastClampsToNow) {
+  Scheduler sched;
+  Time fired = ~Time{0};
+  sched.post_at(msec(10), [&] {
+    sched.post_at(msec(1), [&] { fired = sched.now(); });  // in the past
+  });
+  sched.run();
+  EXPECT_EQ(fired, msec(10));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.post_at(msec(1), [&] { ++fired; });
+  sched.post_at(msec(100), [&] { ++fired; });
+  sched.run_until(msec(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), msec(50));
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, SpawnFromWithinProcess) {
+  Scheduler sched;
+  Time child_ran_at = 0;
+  sched.spawn("parent", [&] {
+    sched.sleep_for(msec(2));
+    sched.spawn("child", [&] {
+      sched.sleep_for(msec(1));
+      child_ran_at = sched.now();
+    });
+  });
+  sched.run();
+  EXPECT_EQ(child_ran_at, msec(3));
+}
+
+TEST(Scheduler, ManyProcessesComplete) {
+  Scheduler sched;
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    sched.spawn("w" + std::to_string(i), [&sched, &done, i] {
+      sched.sleep_for(static_cast<Duration>(i));
+      ++done;
+    });
+  }
+  sched.run();
+  EXPECT_EQ(done, 100);
+}
+
+TEST(Scheduler, BlockedProcessTornDownCleanly) {
+  bool unwound = false;
+  {
+    Scheduler sched;
+    auto cond = std::make_shared<Condition>(sched);
+    sched.spawn("stuck", [&, cond] {
+      struct Unwinder {
+        bool* flag;
+        ~Unwinder() { *flag = true; }
+      } unwinder{&unwound};
+      cond->wait();  // never notified
+      FAIL() << "should not return";
+    });
+    sched.run();
+    EXPECT_FALSE(unwound);
+  }
+  EXPECT_TRUE(unwound);  // destructor ran via SimulationShutdown unwind
+}
+
+TEST(Condition, NotifyWakesInFifoOrder) {
+  Scheduler sched;
+  Condition cond(sched);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.spawn("w" + std::to_string(i), [&, i] {
+      sched.sleep_for(static_cast<Duration>(i));  // deterministic wait order
+      cond.wait();
+      order.push_back(i);
+    });
+  }
+  sched.spawn("notifier", [&] {
+    sched.sleep_for(msec(1));
+    cond.notify_one();
+    cond.notify_one();
+    cond.notify_one();
+  });
+  sched.run();
+  std::vector<int> expected{0, 1, 2};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Condition, WaitForTimesOut) {
+  Scheduler sched;
+  Condition cond(sched);
+  bool notified = true;
+  Time woke = 0;
+  sched.spawn("waiter", [&] {
+    notified = cond.wait_for(msec(7));
+    woke = sched.now();
+  });
+  sched.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(woke, msec(7));
+}
+
+TEST(Condition, WaitForReturnsTrueWhenNotified) {
+  Scheduler sched;
+  Condition cond(sched);
+  bool notified = false;
+  Time woke = 0;
+  sched.spawn("waiter", [&] {
+    notified = cond.wait_for(msec(100));
+    woke = sched.now();
+  });
+  sched.spawn("notifier", [&] {
+    sched.sleep_for(msec(2));
+    cond.notify_one();
+  });
+  sched.run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(woke, msec(2));
+}
+
+TEST(Condition, NotifyAllWakesEveryWaiter) {
+  Scheduler sched;
+  Condition cond(sched);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched.spawn("w" + std::to_string(i), [&] {
+      cond.wait();
+      ++woke;
+    });
+  }
+  sched.spawn("notifier", [&] {
+    sched.sleep_for(1);
+    cond.notify_all();
+  });
+  sched.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Condition, NotifyWithNoWaitersIsNoOp) {
+  Scheduler sched;
+  Condition cond(sched);
+  sched.spawn("p", [&] {
+    cond.notify_one();
+    cond.notify_all();
+  });
+  sched.run();  // must not hang or crash
+}
+
+TEST(Mailbox, SendThenRecv) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  int got = 0;
+  sched.spawn("producer", [&] { box.send(41); });
+  sched.spawn("consumer", [&] { got = box.recv() + 1; });
+  sched.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Mailbox, RecvBlocksUntilSend) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  Time got_at = 0;
+  sched.spawn("consumer", [&] {
+    box.recv();
+    got_at = sched.now();
+  });
+  sched.spawn("producer", [&] {
+    sched.sleep_for(msec(9));
+    box.send(1);
+  });
+  sched.run();
+  EXPECT_EQ(got_at, msec(9));
+}
+
+TEST(Mailbox, PreservesFifoOrder) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  std::vector<int> got;
+  sched.spawn("producer", [&] {
+    for (int i = 0; i < 10; ++i) box.send(i);
+  });
+  sched.spawn("consumer", [&] {
+    for (int i = 0; i < 10; ++i) got.push_back(box.recv());
+  });
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(Mailbox, RecvForTimesOutOnEmpty) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  std::optional<int> got = 7;
+  sched.spawn("consumer", [&] { got = box.recv_for(msec(3)); });
+  sched.run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(sched.now(), msec(3));
+}
+
+TEST(Mailbox, RecvForReturnsEarlyWhenMessageArrives) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  std::optional<int> got;
+  Time got_at = 0;
+  sched.spawn("consumer", [&] {
+    got = box.recv_for(msec(50));
+    got_at = sched.now();
+  });
+  sched.spawn("producer", [&] {
+    sched.sleep_for(msec(4));
+    box.send(13);
+  });
+  sched.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 13);
+  // The message arrived at 4 ms; the stale 50 ms timeout event may still
+  // advance the clock afterwards, so measure inside the process.
+  EXPECT_EQ(got_at, msec(4));
+}
+
+TEST(Mailbox, TryRecvNonBlocking) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  std::optional<int> first, second;
+  sched.spawn("p", [&] {
+    first = box.try_recv();
+    box.send(5);
+    second = box.try_recv();
+  });
+  sched.run();
+  EXPECT_FALSE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 5);
+}
+
+TEST(Mailbox, TwoConsumersEachGetOneMessage) {
+  Scheduler sched;
+  Mailbox<int> box(sched);
+  int sum = 0;
+  sched.spawn("c1", [&] { sum += box.recv(); });
+  sched.spawn("c2", [&] { sum += box.recv(); });
+  sched.spawn("p", [&] {
+    sched.sleep_for(1);
+    box.send(10);
+    box.send(20);
+  });
+  sched.run();
+  EXPECT_EQ(sum, 30);
+}
+
+TEST(Scheduler, ComputeModelsCpuTime) {
+  Scheduler sched;
+  Time after = 0;
+  sched.spawn("worker", [&] {
+    sched.compute(usec(2500));
+    after = sched.now();
+  });
+  sched.run();
+  EXPECT_EQ(after, usec(2500));
+}
+
+TEST(Scheduler, CurrentProcessNameVisible) {
+  Scheduler sched;
+  std::string name;
+  sched.spawn("my-task", [&] { name = sched.current_process_name(); });
+  sched.run();
+  EXPECT_EQ(name, "my-task");
+}
+
+}  // namespace
+}  // namespace mocha::sim

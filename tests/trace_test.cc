@@ -1,0 +1,195 @@
+// Tests for the protocol tracer and its renderers.
+#include <gtest/gtest.h>
+
+#include "net/profiles.h"
+#include "replica/lock.h"
+#include "replica/replica.h"
+#include "replica/replica_system.h"
+#include "runtime/system.h"
+#include "sim/scheduler.h"
+#include "trace/tracer.h"
+
+namespace mocha::trace {
+namespace {
+
+using runtime::Mocha;
+using runtime::MochaSystem;
+using runtime::SiteId;
+
+// --- pure tracer unit tests ---
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer tracer;
+  tracer.record(EventKind::kLockRequested, 100, 1, 0, 7, 0);
+  tracer.record(EventKind::kLockGranted, 200, 1, 0, 7, 0);
+  tracer.record(EventKind::kLockReleased, 500, 1, 0, 7, 0);
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.count(EventKind::kLockGranted), 1u);
+  EXPECT_EQ(tracer.count(EventKind::kLockBroken), 0u);
+}
+
+TEST(Tracer, LockStatsComputeWaitAndHold) {
+  Tracer tracer;
+  // site 1: waits 2 ms, holds 4 ms. site 2: waits 10 ms, holds 6 ms.
+  tracer.record(EventKind::kLockRequested, 0, 1, 0, 7, 0);
+  tracer.record(EventKind::kLockGranted, 2000, 1, 0, 7, 0);
+  tracer.record(EventKind::kLockRequested, 1000, 2, 0, 7, 0);
+  tracer.record(EventKind::kLockReleased, 6000, 1, 0, 7, 0);
+  tracer.record(EventKind::kLockGranted, 11000, 2, 0, 7, 1);  // shared
+  tracer.record(EventKind::kLockReleased, 17000, 2, 0, 7, 1);
+  auto stats = tracer.lock_stats();
+  ASSERT_TRUE(stats.contains(7));
+  const LockStats& s = stats[7];
+  EXPECT_EQ(s.acquisitions, 2u);
+  EXPECT_EQ(s.shared_acquisitions, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_wait_ms, 6.0);   // (2 + 10) / 2
+  EXPECT_DOUBLE_EQ(s.max_wait_ms, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean_hold_ms, 5.0);   // (4 + 6) / 2
+  EXPECT_DOUBLE_EQ(s.max_hold_ms, 6.0);
+}
+
+TEST(Tracer, TrafficMatrixAggregates) {
+  Tracer tracer;
+  tracer.record(EventKind::kDatagramSent, 0, 0, 1, 0, 100);
+  tracer.record(EventKind::kDatagramSent, 1, 0, 1, 0, 300);
+  tracer.record(EventKind::kDatagramSent, 2, 1, 0, 0, 50);
+  tracer.record(EventKind::kDatagramDropped, 3, 0, 1, 0, 0);
+  auto matrix = tracer.traffic_matrix();
+  EXPECT_EQ((matrix[{0, 1}].datagrams), 2u);
+  EXPECT_EQ((matrix[{0, 1}].bytes), 400u);
+  EXPECT_EQ((matrix[{0, 1}].dropped), 1u);
+  EXPECT_EQ((matrix[{1, 0}].datagrams), 1u);
+}
+
+TEST(Tracer, TimelinePaintsHolds) {
+  Tracer tracer;
+  tracer.set_site_names({"home", "remote"});
+  tracer.record(EventKind::kLockGranted, 0, 0, 0, 1, 0);
+  tracer.record(EventKind::kLockReleased, 10000, 0, 0, 1, 0);
+  tracer.record(EventKind::kLockGranted, 20000, 1, 0, 1, 1);  // shared
+  tracer.record(EventKind::kLockReleased, 30000, 1, 0, 1, 1);
+  std::string timeline = tracer.lock_timeline(1, sim::msec(1));
+  EXPECT_NE(timeline.find("home"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find('r'), std::string::npos);
+}
+
+TEST(Tracer, DotOutputIsWellFormed) {
+  Tracer tracer;
+  tracer.set_site_names({"a", "b"});
+  tracer.record(EventKind::kDatagramSent, 0, 0, 1, 0, 2048);
+  std::string dot = tracer.traffic_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("2 KB"), std::string::npos);
+}
+
+// --- integration: tracer attached to a live system ---
+
+struct Fixture {
+  sim::Scheduler sched;
+  MochaSystem sys;
+  replica::ReplicaSystem replicas;
+  Tracer tracer;
+
+  Fixture()
+      : sys(sched, net::NetProfile::lan()), replicas(make_sites(sys), opts()) {
+    sys.network().set_tracer(&tracer);
+    tracer.set_site_names({"home", "s1", "s2"});
+  }
+
+  static MochaSystem& make_sites(MochaSystem& sys) {
+    sys.add_site("home");
+    sys.add_site("s1");
+    sys.add_site("s2");
+    return sys;
+  }
+  static replica::ReplicaOptions opts() {
+    replica::ReplicaOptions o;
+    o.marshal_model = serial::MarshalCostModel::zero();
+    return o;
+  }
+};
+
+TEST(TracerIntegration, CapturesFullLockCycle) {
+  Fixture fx;
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "c",
+                                      std::vector<std::int32_t>{0}, 3);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(lk.lock().is_ok());
+      r->int_data()[0] += 1;
+      ASSERT_TRUE(lk.unlock().is_ok());
+    }
+  });
+  fx.sched.run();
+  EXPECT_EQ(fx.tracer.count(EventKind::kLockRequested), 3u);
+  EXPECT_EQ(fx.tracer.count(EventKind::kLockGranted), 3u);
+  EXPECT_EQ(fx.tracer.count(EventKind::kLockReleased), 3u);
+  EXPECT_GT(fx.tracer.count(EventKind::kDatagramSent), 6u);
+  auto stats = fx.tracer.lock_stats();
+  ASSERT_TRUE(stats.contains(1));
+  EXPECT_EQ(stats[1].acquisitions, 3u);
+  EXPECT_GT(stats[1].mean_wait_ms, 0.0);
+}
+
+TEST(TracerIntegration, CapturesTransfersBetweenSites) {
+  Fixture fx;
+  fx.sys.run_at(0, [&](Mocha& mocha) {
+    auto r = replica::Replica::create(mocha, "c",
+                                      std::vector<std::int32_t>{0}, 3);
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r);
+    ASSERT_TRUE(lk.lock().is_ok());
+    r->int_data()[0] = 5;
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sys.run_at(1, [&](Mocha& mocha) {
+    fx.sched.sleep_for(sim::msec(200));
+    auto r = replica::Replica::attach(mocha, "c");
+    ASSERT_TRUE(r.is_ok());
+    replica::ReplicaLock lk(1, mocha);
+    lk.associate(r.value());
+    ASSERT_TRUE(lk.lock().is_ok());
+    ASSERT_TRUE(lk.unlock().is_ok());
+  });
+  fx.sched.run();
+  EXPECT_EQ(fx.tracer.count(EventKind::kTransferServed), 1u);
+  // The traffic matrix must show home<->s1 exchanges in both directions.
+  auto matrix = fx.tracer.traffic_matrix();
+  EXPECT_GT((matrix[{1, 0}].datagrams), 0u);
+  EXPECT_GT((matrix[{0, 1}].datagrams), 0u);
+}
+
+TEST(TracerIntegration, TracingDoesNotChangeVirtualTiming) {
+  auto run_once = [](Tracer* tracer) {
+    sim::Scheduler sched;
+    MochaSystem sys(sched, net::NetProfile::wan());
+    sys.add_site("home");
+    sys.add_site("s1");
+    if (tracer != nullptr) sys.network().set_tracer(tracer);
+    replica::ReplicaSystem replicas(sys, Fixture::opts());
+    sim::Time done = 0;
+    sys.run_at(0, [&](Mocha& mocha) {
+      auto r = replica::Replica::create(mocha, "c",
+                                        std::vector<std::int32_t>{0}, 2);
+      replica::ReplicaLock lk(1, mocha);
+      lk.associate(r);
+      for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(lk.lock().is_ok());
+        ASSERT_TRUE(lk.unlock().is_ok());
+      }
+      done = sched.now();
+    });
+    sched.run();
+    return done;
+  };
+  Tracer tracer;
+  EXPECT_EQ(run_once(nullptr), run_once(&tracer));
+  EXPECT_GT(tracer.events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mocha::trace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/buffer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mocha::util {
+namespace {
+
+TEST(WireCodec, RoundTripsScalars) {
+  Buffer buf;
+  WireWriter writer(buf);
+  writer.u8(0xab);
+  writer.u16(0xbeef);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefULL);
+  writer.i32(-42);
+  writer.i64(-1234567890123LL);
+  writer.f64(3.14159);
+  writer.boolean(true);
+  writer.boolean(false);
+
+  WireReader reader(buf);
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u16(), 0xbeef);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.i32(), -42);
+  EXPECT_EQ(reader.i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(reader.f64(), 3.14159);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_FALSE(reader.boolean());
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(WireCodec, RoundTripsStringsAndBytes) {
+  Buffer buf;
+  WireWriter writer(buf);
+  writer.str("hello mocha");
+  writer.str("");
+  Buffer blob{1, 2, 3, 255};
+  writer.bytes(blob);
+
+  WireReader reader(buf);
+  EXPECT_EQ(reader.str(), "hello mocha");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_EQ(reader.bytes(), blob);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(WireCodec, RoundTripsExtremeValues) {
+  Buffer buf;
+  WireWriter writer(buf);
+  writer.i32(std::numeric_limits<std::int32_t>::min());
+  writer.i32(std::numeric_limits<std::int32_t>::max());
+  writer.i64(std::numeric_limits<std::int64_t>::min());
+  writer.f64(std::numeric_limits<double>::infinity());
+  writer.f64(-0.0);
+
+  WireReader reader(buf);
+  EXPECT_EQ(reader.i32(), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(reader.i32(), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(reader.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(reader.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reader.f64(), -0.0);
+}
+
+TEST(WireCodec, ReadPastEndThrows) {
+  Buffer buf;
+  WireWriter writer(buf);
+  writer.u16(7);
+  WireReader reader(buf);
+  EXPECT_EQ(reader.u16(), 7);
+  EXPECT_THROW(reader.u8(), CodecError);
+}
+
+TEST(WireCodec, TruncatedLengthPrefixThrows) {
+  Buffer buf;
+  WireWriter writer(buf);
+  writer.u32(1000);  // claims 1000 bytes follow; none do
+  WireReader reader(buf);
+  EXPECT_THROW(reader.bytes(), CodecError);
+}
+
+TEST(WireCodec, RawViewAdvances) {
+  Buffer buf{10, 20, 30, 40};
+  WireReader reader(buf);
+  auto first = reader.raw(2);
+  EXPECT_EQ(first[0], 10);
+  EXPECT_EQ(first[1], 20);
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_THROW(reader.raw(3), CodecError);
+}
+
+TEST(Status, OkAndErrors) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  Status timeout(StatusCode::kTimeout, "peer silent");
+  EXPECT_FALSE(timeout.is_ok());
+  EXPECT_EQ(timeout.code(), StatusCode::kTimeout);
+  EXPECT_EQ(timeout.to_string(), "TIMEOUT: peer silent");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status(StatusCode::kNotFound, "nope"));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(Result, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(Result<int> r{Status::ok()}, std::logic_error);
+}
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, ChanceRespectsProbability) {
+  SplitMix64 rng(123);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+}  // namespace
+}  // namespace mocha::util
