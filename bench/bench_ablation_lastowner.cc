@@ -37,8 +37,9 @@ double reacquire_ms(std::size_t bytes, bool optimized) {
 }
 
 void BM_Reacquire_Optimized(benchmark::State& state) {
-  report_sim_time(state,
-                  reacquire_ms(static_cast<std::size_t>(state.range(0)), true));
+  report_sim_time(
+      state, "reacquire_optimized_" + std::to_string(state.range(0)),
+      reacquire_ms(static_cast<std::size_t>(state.range(0)), true));
 }
 BENCHMARK(BM_Reacquire_Optimized)
     ->UseManualTime()
@@ -48,7 +49,8 @@ BENCHMARK(BM_Reacquire_Optimized)
 
 void BM_Reacquire_AlwaysTransfer(benchmark::State& state) {
   report_sim_time(
-      state, reacquire_ms(static_cast<std::size_t>(state.range(0)), false));
+      state, "reacquire_always_transfer_" + std::to_string(state.range(0)),
+      reacquire_ms(static_cast<std::size_t>(state.range(0)), false));
 }
 BENCHMARK(BM_Reacquire_AlwaysTransfer)
     ->UseManualTime()

@@ -36,8 +36,9 @@ double cycle_ms(std::size_t bytes, const serial::MarshalCostModel& model) {
 }
 
 void BM_Cycle_JDK11(benchmark::State& state) {
-  report_sim_time(state, cycle_ms(static_cast<std::size_t>(state.range(0)),
-                                  serial::MarshalCostModel::jdk11()));
+  report_sim_time(state, "cycle_jdk11_" + std::to_string(state.range(0)),
+                  cycle_ms(static_cast<std::size_t>(state.range(0)),
+                           serial::MarshalCostModel::jdk11()));
 }
 BENCHMARK(BM_Cycle_JDK11)
     ->UseManualTime()
@@ -47,8 +48,9 @@ BENCHMARK(BM_Cycle_JDK11)
     ->Arg(256 << 10);
 
 void BM_Cycle_CustomMarshal(benchmark::State& state) {
-  report_sim_time(state, cycle_ms(static_cast<std::size_t>(state.range(0)),
-                                  serial::MarshalCostModel::custom()));
+  report_sim_time(state, "cycle_custom_marshal_" + std::to_string(state.range(0)),
+                  cycle_ms(static_cast<std::size_t>(state.range(0)),
+                           serial::MarshalCostModel::custom()));
 }
 BENCHMARK(BM_Cycle_CustomMarshal)
     ->UseManualTime()

@@ -57,6 +57,7 @@ double read_workload_ms(int readers, bool use_shared) {
 
 void BM_ReadWorkload_Exclusive(benchmark::State& state) {
   report_sim_time(state,
+                  "read_workload_exclusive_" + std::to_string(state.range(0)),
                   read_workload_ms(static_cast<int>(state.range(0)), false));
 }
 BENCHMARK(BM_ReadWorkload_Exclusive)
@@ -68,6 +69,7 @@ BENCHMARK(BM_ReadWorkload_Exclusive)
 
 void BM_ReadWorkload_Shared(benchmark::State& state) {
   report_sim_time(state,
+                  "read_workload_shared_" + std::to_string(state.range(0)),
                   read_workload_ms(static_cast<int>(state.range(0)), true));
 }
 BENCHMARK(BM_ReadWorkload_Shared)

@@ -11,6 +11,7 @@
 #include "net/mochanet.h"
 #include "net/profiles.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 
 namespace mocha::bench {
 namespace {
@@ -63,6 +64,10 @@ void BM_Lossy_FullResend(benchmark::State& state) {
   for (auto _ : state) state.SetIterationTime(r.ms / 1000.0);
   state.counters["sim_ms"] = r.ms;
   state.counters["retx_frags"] = static_cast<double>(r.retransmissions);
+  util::write_bench_json(
+      "lossy_full_resend_" + std::to_string(state.range(0)),
+      {{"sim_time", r.ms, "ms"},
+       {"retx_frags", static_cast<double>(r.retransmissions), "fragments"}});
 }
 BENCHMARK(BM_Lossy_FullResend)
     ->UseManualTime()
@@ -77,6 +82,10 @@ void BM_Lossy_SelectiveNack(benchmark::State& state) {
   for (auto _ : state) state.SetIterationTime(r.ms / 1000.0);
   state.counters["sim_ms"] = r.ms;
   state.counters["retx_frags"] = static_cast<double>(r.retransmissions);
+  util::write_bench_json(
+      "lossy_selective_nack_" + std::to_string(state.range(0)),
+      {{"sim_time", r.ms, "ms"},
+       {"retx_frags", static_cast<double>(r.retransmissions), "fragments"}});
 }
 BENCHMARK(BM_Lossy_SelectiveNack)
     ->UseManualTime()

@@ -12,6 +12,7 @@
 #include "net/profiles.h"
 #include "net/tcp.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 
 namespace mocha::bench {
 namespace {
@@ -59,6 +60,8 @@ void BM_SmallMsg_MochaNet(benchmark::State& state) {
                                 net::NetProfile::lan());
   for (auto _ : state) state.SetIterationTime(ms / 1000.0);
   state.counters["sim_ms"] = ms;
+  util::write_bench_json("small_msg_mochanet_" + std::to_string(state.range(0)),
+                         {{"sim_time", ms, "ms"}});
 }
 BENCHMARK(BM_SmallMsg_MochaNet)
     ->UseManualTime()
@@ -73,6 +76,8 @@ void BM_SmallMsg_TCP(benchmark::State& state) {
                            net::NetProfile::lan());
   for (auto _ : state) state.SetIterationTime(ms / 1000.0);
   state.counters["sim_ms"] = ms;
+  util::write_bench_json("small_msg_tcp_" + std::to_string(state.range(0)),
+                         {{"sim_time", ms, "ms"}});
 }
 BENCHMARK(BM_SmallMsg_TCP)
     ->UseManualTime()

@@ -60,7 +60,8 @@ UrCosts ur_costs(int ur, std::size_t bytes) {
 
 void BM_UrSweep_Unlock(benchmark::State& state) {
   const UrCosts costs = ur_costs(static_cast<int>(state.range(0)), 4096);
-  report_sim_time(state, costs.unlock_ms);
+  report_sim_time(state, "ur_sweep_unlock_" + std::to_string(state.range(0)),
+                  costs.unlock_ms);
   state.counters["next_acquire_ms"] = costs.next_acquire_ms;
 }
 BENCHMARK(BM_UrSweep_Unlock)->UseManualTime()->Iterations(1)->DenseRange(1, 6);

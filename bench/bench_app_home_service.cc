@@ -88,7 +88,7 @@ AppCosts measure_app_costs(
 
 void BM_HomeService_ConsistencyCycle(benchmark::State& state) {
   const AppCosts costs = measure_app_costs();
-  report_sim_time(state, costs.total());
+  report_sim_time(state, "home_service_consistency_cycle", costs.total());
   state.counters["marshal_ms"] = costs.marshal_ms;
   state.counters["lock_ms"] = costs.lock_ms;
   state.counters["transfer_ms"] = costs.transfer_ms;
@@ -101,7 +101,7 @@ BENCHMARK(BM_HomeService_ConsistencyCycle)->UseManualTime()->Iterations(1);
 // to a Unix workstation."
 void BM_HomeService_CableModem(benchmark::State& state) {
   const AppCosts costs = measure_app_costs(net::NetProfile::cable_modem());
-  report_sim_time(state, costs.total());
+  report_sim_time(state, "home_service_cable_modem", costs.total());
   state.counters["marshal_ms"] = costs.marshal_ms;
   state.counters["lock_ms"] = costs.lock_ms;
   state.counters["transfer_ms"] = costs.transfer_ms;

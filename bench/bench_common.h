@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "net/profiles.h"
+#include "util/metrics.h"
 #include "replica/generated.h"
 #include "replica/lock.h"
 #include "replica/replica.h"
@@ -87,12 +88,18 @@ inline double run_dissemination_ms(const net::NetProfile& profile,
   return elapsed_ms;
 }
 
-// Registers `fn` as a google-benchmark with manual (simulated) time.
-inline void report_sim_time(benchmark::State& state, double sim_ms) {
+// Registers `fn` as a google-benchmark with manual (simulated) time and
+// drops a machine-readable BENCH_<name>.json next to the bench output
+// (util/metrics.h) so the perf trajectory is diffable across runs instead of
+// scraped from stdout. `name` should encode the range argument when the
+// bench has one ("fig9_lan_1k_basic_3"), one file per data point.
+inline void report_sim_time(benchmark::State& state, const std::string& name,
+                            double sim_ms) {
   for (auto _ : state) {
     state.SetIterationTime(sim_ms / 1000.0);
   }
   state.counters["sim_ms"] = sim_ms;
+  util::write_bench_json(name, {{"sim_time", sim_ms, "ms"}});
 }
 
 }  // namespace mocha::bench

@@ -31,7 +31,7 @@ double marshal_ms(std::size_t bytes, const serial::MarshalCostModel& model) {
 void BM_Marshal_JDK11(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
   const double ms = marshal_ms(bytes, serial::MarshalCostModel::jdk11());
-  report_sim_time(state, ms);
+  report_sim_time(state, "fig8_marshal_jdk11_" + std::to_string(bytes), ms);
 }
 BENCHMARK(BM_Marshal_JDK11)
     ->UseManualTime()

@@ -84,12 +84,15 @@ double shared_object_ms(int reads) {
 }
 
 void BM_RpcStyle(benchmark::State& state) {
-  report_sim_time(state, rpc_style_ms(static_cast<int>(state.range(0))));
+  report_sim_time(state, "rpc_style_" + std::to_string(state.range(0)),
+                  rpc_style_ms(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_RpcStyle)->UseManualTime()->Iterations(1)->Arg(1)->Arg(5)->Arg(20);
 
 void BM_SharedObjectStyle(benchmark::State& state) {
-  report_sim_time(state, shared_object_ms(static_cast<int>(state.range(0))));
+  report_sim_time(state,
+                  "shared_object_style_" + std::to_string(state.range(0)),
+                  shared_object_ms(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_SharedObjectStyle)
     ->UseManualTime()

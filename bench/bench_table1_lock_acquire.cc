@@ -43,14 +43,14 @@ double lock_acquire_ms(const net::NetProfile& profile) {
 
 void BM_LockAcquire_LAN(benchmark::State& state) {
   const double ms = lock_acquire_ms(net::NetProfile::lan());
-  report_sim_time(state, ms);
+  report_sim_time(state, "table1_lock_acquire_lan", ms);
   state.SetLabel("paper: 5 ms");
 }
 BENCHMARK(BM_LockAcquire_LAN)->UseManualTime()->Iterations(1);
 
 void BM_LockAcquire_WAN(benchmark::State& state) {
   const double ms = lock_acquire_ms(net::NetProfile::wan());
-  report_sim_time(state, ms);
+  report_sim_time(state, "table1_lock_acquire_wan", ms);
   state.SetLabel("paper: 19 ms");
 }
 BENCHMARK(BM_LockAcquire_WAN)->UseManualTime()->Iterations(1);

@@ -32,7 +32,9 @@ inline void run_transfer_figure(const char* figure, const char* title,
     const double ms = mocha::bench::run_dissemination_ms(                    \
         PROFILE, BYTES, static_cast<int>(state.range(0)),                    \
         mocha::net::TransferMode::kBasic);                                   \
-    mocha::bench::report_sim_time(state, ms);                                \
+    mocha::bench::report_sim_time(                                           \
+        state, std::string(#NAME "_basic_") + std::to_string(state.range(0)),\
+        ms);                                                                 \
   }                                                                          \
   BENCHMARK(NAME##_Basic)                                                    \
       ->UseManualTime()                                                      \
@@ -42,7 +44,9 @@ inline void run_transfer_figure(const char* figure, const char* title,
     const double ms = mocha::bench::run_dissemination_ms(                    \
         PROFILE, BYTES, static_cast<int>(state.range(0)),                    \
         mocha::net::TransferMode::kHybrid);                                  \
-    mocha::bench::report_sim_time(state, ms);                                \
+    mocha::bench::report_sim_time(                                           \
+        state,                                                               \
+        std::string(#NAME "_hybrid_") + std::to_string(state.range(0)), ms); \
   }                                                                          \
   BENCHMARK(NAME##_Hybrid)->UseManualTime()->Iterations(1)->DenseRange(1, 6)
 

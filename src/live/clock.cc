@@ -1,0 +1,18 @@
+#include "live/clock.h"
+
+#include <chrono>
+
+namespace mocha::live {
+
+std::int64_t Clock::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Clock& Clock::monotonic() {
+  static Clock instance;
+  return instance;
+}
+
+}  // namespace mocha::live

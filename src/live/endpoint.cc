@@ -1,0 +1,452 @@
+#include "live/endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/log.h"
+
+namespace mocha::live {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "fcntl(O_NONBLOCK)");
+  }
+}
+
+bool same_addr(const sockaddr_in& a, const sockaddr_in& b) {
+  return a.sin_addr.s_addr == b.sin_addr.s_addr && a.sin_port == b.sin_port;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(net::NodeId node, std::uint16_t udp_port,
+                   EndpointOptions opts, Clock* clock)
+    : node_(node), opts_(opts), clock_(clock ? clock : &Clock::monotonic()) {
+  if (opts_.mtu <= kLiveEnvelopeBytes + net::kFragHeaderBytes) {
+    throw std::invalid_argument("live::Endpoint: mtu too small for headers");
+  }
+  max_chunk_ = opts_.mtu - kLiveEnvelopeBytes - net::kFragHeaderBytes;
+
+  sock_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (sock_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(udp_port);
+  if (::bind(sock_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(sock_);
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int err = errno;
+    ::close(sock_);
+    throw std::system_error(err, std::generic_category(), "getsockname");
+  }
+  udp_port_ = ntohs(addr.sin_port);
+  set_nonblocking(sock_);
+
+  if (::pipe(wake_pipe_) < 0) {
+    const int err = errno;
+    ::close(sock_);
+    throw std::system_error(err, std::generic_category(), "pipe");
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  running_.store(true);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+Endpoint::~Endpoint() {
+  running_.store(false);
+  wake_io_thread();
+  if (io_thread_.joinable()) io_thread_.join();
+  // Unblock any receiver still parked in recv(); messages are dropped.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [port, queue] : delivered_) queue->cv.notify_all();
+    for (auto& [key, out] : outstanding_) {
+      out->failed = true;
+    }
+    ack_cv_.notify_all();
+  }
+  ::close(sock_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+void Endpoint::add_peer(net::NodeId peer, const std::string& host,
+                        std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve as a hostname.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_DGRAM;
+    addrinfo* result = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+    if (rc != 0 || result == nullptr) {
+      throw std::invalid_argument("live::Endpoint: cannot resolve '" + host +
+                                  "': " + gai_strerror(rc));
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+    ::freeaddrinfo(result);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[peer] = addr;
+}
+
+bool Endpoint::knows_peer(net::NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peers_.contains(peer);
+}
+
+void Endpoint::send(net::NodeId dst, net::Port port, util::Buffer payload) {
+  (void)send_sync(dst, port, std::move(payload), /*timeout_us=*/0);
+}
+
+util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
+                                 util::Buffer payload,
+                                 std::int64_t timeout_us) {
+  std::shared_ptr<Outstanding> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto peer_it = peers_.find(dst);
+    if (peer_it == peers_.end()) {
+      throw std::logic_error("live::Endpoint: unknown peer node " +
+                             std::to_string(dst));
+    }
+    auto [seq_it, unused] = next_seq_out_.try_emplace(dst, 1);
+    const std::uint64_t seq = seq_it->second++;
+
+    // Shared frame codec (net/frame.h), then the live source-node envelope.
+    std::vector<util::Buffer> frames =
+        net::fragment_message(seq, port, payload, max_chunk_);
+    out = std::make_shared<Outstanding>();
+    out->addr = peer_it->second;
+    out->retries_left = opts_.max_retries;
+    out->next_resend_us = clock_->now_us() + opts_.rto_us;
+    out->datagrams.reserve(frames.size());
+    for (const util::Buffer& frame : frames) {
+      util::Buffer datagram;
+      datagram.reserve(kLiveEnvelopeBytes + frame.size());
+      util::WireWriter writer(datagram);
+      writer.u32(node_);
+      writer.raw(frame);
+      out->datagrams.push_back(std::move(datagram));
+    }
+    outstanding_.emplace(MsgKey{dst, seq}, out);
+    for (const util::Buffer& datagram : out->datagrams) {
+      transmit(out->addr, datagram);
+      ++fragments_sent_;
+    }
+    ++messages_sent_;
+  }
+  wake_io_thread();  // the io loop recomputes its poll deadline
+
+  if (timeout_us <= 0) return util::Status::ok();  // asynchronous send
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  ack_cv_.wait_until(lock, deadline,
+                     [&] { return out->acked || out->failed; });
+  if (out->acked) return util::Status::ok();
+  return util::Status(util::StatusCode::kTimeout,
+                      "no transport ack from node " + std::to_string(dst));
+}
+
+Endpoint::Message Endpoint::recv(net::Port port) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PortQueue& queue = port_queue(port);
+  queue.cv.wait(lock,
+                [&] { return !queue.messages.empty() || !running_.load(); });
+  if (queue.messages.empty()) {
+    throw std::runtime_error("live::Endpoint: shut down while receiving");
+  }
+  Message msg = std::move(queue.messages.front());
+  queue.messages.pop_front();
+  return msg;
+}
+
+std::optional<Endpoint::Message> Endpoint::recv_for(net::Port port,
+                                                    std::int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PortQueue& queue = port_queue(port);
+  if (timeout_us > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    queue.cv.wait_until(lock, deadline, [&] {
+      return !queue.messages.empty() || !running_.load();
+    });
+  }
+  if (queue.messages.empty()) return std::nullopt;
+  Message msg = std::move(queue.messages.front());
+  queue.messages.pop_front();
+  return msg;
+}
+
+Endpoint::PortQueue& Endpoint::port_queue(net::Port port) {
+  auto it = delivered_.find(port);
+  if (it == delivered_.end()) {
+    it = delivered_.emplace(port, std::make_unique<PortQueue>()).first;
+  }
+  return *it->second;
+}
+
+void Endpoint::transmit(const sockaddr_in& addr, const util::Buffer& datagram) {
+  // Failures (ENOBUFS, transient ICMP errors) are left to retransmission.
+  (void)::sendto(sock_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
+void Endpoint::wake_io_thread() {
+  const char byte = 1;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+}
+
+void Endpoint::io_loop() {
+  std::vector<std::uint8_t> buf(opts_.mtu + 1);
+  while (running_.load()) {
+    std::int64_t timeout_ms;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::int64_t deadline = next_deadline_us();
+      const std::int64_t now = clock_->now_us();
+      timeout_ms = deadline <= now ? 0 : (deadline - now + 999) / 1000;
+    }
+
+    pollfd fds[2];
+    fds[0] = {sock_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, static_cast<int>(timeout_ms));
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0 && (fds[1].revents & POLLIN)) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (ready > 0 && (fds[0].revents & POLLIN)) {
+      while (true) {
+        sockaddr_in from{};
+        socklen_t from_len = sizeof(from);
+        const ssize_t n =
+            ::recvfrom(sock_, buf.data(), buf.size(), 0,
+                       reinterpret_cast<sockaddr*>(&from), &from_len);
+        if (n < 0) break;  // EAGAIN — drained
+        handle_datagram(buf.data(), static_cast<std::size_t>(n), from);
+      }
+    }
+    fire_timers(clock_->now_us());
+  }
+}
+
+std::int64_t Endpoint::next_deadline_us() {
+  std::int64_t deadline = clock_->now_us() + opts_.idle_poll_us;
+  for (const auto& [key, out] : outstanding_) {
+    if (!out->acked && out->next_resend_us < deadline) {
+      deadline = out->next_resend_us;
+    }
+  }
+  for (const auto& [src, gap] : gap_skips_) {
+    if (gap.deadline_us < deadline) deadline = gap.deadline_us;
+  }
+  return deadline;
+}
+
+bool Endpoint::has_stashed(net::NodeId src) const {
+  auto it = stashed_.lower_bound({src, 0});
+  return it != stashed_.end() && it->first.first == src;
+}
+
+void Endpoint::update_gap_skip(net::NodeId src, std::int64_t now_us) {
+  if (!has_stashed(src)) {
+    gap_skips_.erase(src);
+    return;
+  }
+  auto it = gap_skips_.find(src);
+  if (it != gap_skips_.end() && it->second.expected == next_seq_in_[src]) {
+    return;  // already armed and the stream has not progressed: keep ticking
+  }
+  const std::int64_t window =
+      opts_.rto_us * static_cast<std::int64_t>(opts_.max_retries + 2);
+  gap_skips_[src] = GapSkip{now_us + window, next_seq_in_[src]};
+}
+
+void Endpoint::fire_timers(std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool notified = false;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    std::shared_ptr<Outstanding>& out = it->second;
+    if (out->acked) {
+      it = outstanding_.erase(it);
+      continue;
+    }
+    if (out->next_resend_us > now_us) {
+      ++it;
+      continue;
+    }
+    if (out->retries_left-- <= 0) {
+      out->failed = true;
+      notified = true;
+      MOCHA_DEBUG("live") << "node " << node_ << ": message seq "
+                          << it->first.second << " to node " << it->first.first
+                          << " failed (retries exhausted)";
+      it = outstanding_.erase(it);
+      continue;
+    }
+    for (const util::Buffer& datagram : out->datagrams) {
+      transmit(out->addr, datagram);
+      ++retransmissions_;
+    }
+    out->next_resend_us = now_us + opts_.rto_us;
+    ++it;
+  }
+  if (notified) ack_cv_.notify_all();
+
+  // Gap skip: a sender gave up on a message and newer ones are complete —
+  // once the stream has stagnated a full retry schedule, skip the hole.
+  for (auto it = gap_skips_.begin(); it != gap_skips_.end();) {
+    net::NodeId src = it->first;
+    GapSkip gap = it->second;
+    if (gap.deadline_us > now_us) {
+      ++it;
+      continue;
+    }
+    it = gap_skips_.erase(it);
+    if (next_seq_in_[src] != gap.expected) {
+      // The stream progressed since arming; re-arm if a hole remains.
+      update_gap_skip(src, now_us);
+      continue;
+    }
+    auto stash_it = stashed_.lower_bound({src, 0});
+    if (stash_it == stashed_.end() || stash_it->first.first != src) continue;
+    MOCHA_DEBUG("live") << "node " << node_ << ": skipping sequence hole "
+                        << next_seq_in_[src] << ".."
+                        << stash_it->first.second - 1 << " from node " << src;
+    next_seq_in_[src] = stash_it->first.second;
+    deliver_in_order(src);
+    update_gap_skip(src, now_us);
+  }
+}
+
+void Endpoint::handle_datagram(const std::uint8_t* data, std::size_t len,
+                               const sockaddr_in& from) {
+  try {
+    util::WireReader reader(std::span<const std::uint8_t>(data, len));
+    const net::NodeId src = reader.u32();  // live envelope
+    {
+      // Learn (or refresh) the sender's address — this is how the server
+      // side discovers clients it never configured.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = peers_.find(src);
+      if (it == peers_.end() || !same_addr(it->second, from)) {
+        peers_[src] = from;
+      }
+    }
+    switch (net::decode_frame_type(reader)) {
+      case net::FrameType::kData:
+        handle_data(src, net::decode_data_frame(reader));
+        break;
+      case net::FrameType::kAck: {
+        const std::uint64_t seq = net::decode_ack_frame(reader).seq;
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = outstanding_.find({src, seq});
+        if (it == outstanding_.end()) break;
+        it->second->acked = true;
+        outstanding_.erase(it);
+        ack_cv_.notify_all();
+        break;
+      }
+      case net::FrameType::kNack: {
+        const net::NackFrame nack = net::decode_nack_frame(reader);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = outstanding_.find({src, nack.seq});
+        if (it == outstanding_.end()) break;
+        for (std::uint32_t idx : nack.missing) {
+          if (idx >= it->second->datagrams.size()) continue;
+          transmit(it->second->addr, it->second->datagrams[idx]);
+          ++retransmissions_;
+        }
+        break;
+      }
+    }
+  } catch (const util::CodecError& err) {
+    MOCHA_DEBUG("live") << "node " << node_
+                        << ": dropping malformed datagram: " << err.what();
+  }
+}
+
+void Endpoint::handle_data(net::NodeId src, const net::DataFrame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [in_it, unused] = next_seq_in_.try_emplace(src, 1);
+  const MsgKey key{src, frame.seq};
+  if (frame.seq < in_it->second || stashed_.contains(key)) {
+    // Duplicate of an already-completed message: re-ACK so the sender stops.
+    send_ack(src, frame.seq);
+    return;
+  }
+  net::FragmentAssembler& assembler = reassembly_[key];
+  if (!assembler.add(frame)) return;  // dup fragment
+  if (!assembler.complete()) return;
+
+  Message msg;
+  msg.src = src;
+  msg.port = assembler.port();
+  msg.payload = assembler.assemble();
+  reassembly_.erase(key);
+  send_ack(src, frame.seq);
+  stashed_.emplace(key, std::move(msg));
+  deliver_in_order(src);
+  update_gap_skip(src, clock_->now_us());
+}
+
+void Endpoint::deliver_in_order(net::NodeId src) {
+  std::uint64_t& next = next_seq_in_[src];
+  while (true) {
+    auto it = stashed_.find({src, next});
+    if (it == stashed_.end()) return;
+    Message msg = std::move(it->second);
+    stashed_.erase(it);
+    ++next;
+    ++messages_delivered_;
+    PortQueue& queue = port_queue(msg.port);
+    queue.messages.push_back(std::move(msg));
+    queue.cv.notify_one();
+  }
+}
+
+void Endpoint::send_ack(net::NodeId dst, std::uint64_t seq) {
+  auto it = peers_.find(dst);
+  if (it == peers_.end()) return;  // envelope just registered it; paranoia
+  util::Buffer datagram;
+  util::WireWriter writer(datagram);
+  writer.u32(node_);
+  util::Buffer frame;
+  net::encode_ack_frame(frame, seq);
+  writer.raw(frame);
+  transmit(it->second, datagram);
+}
+
+}  // namespace mocha::live

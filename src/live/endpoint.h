@@ -1,0 +1,182 @@
+// live::Endpoint — the MochaNet endpoint on real sockets.
+//
+// The wall-clock twin of net::MochaNetEndpoint: reliable, sequenced,
+// fragmenting message delivery with upward multiplexing onto logical ports,
+// implemented on one nonblocking UDP socket and a poll(2) event loop instead
+// of the simulated fabric. Both endpoints speak the frame codec in
+// net/frame.h, so a fragment emitted by one decodes with the other.
+//
+// Wire format of one UDP datagram:
+//
+//   u32 src_node | MochaNet frame (net/frame.h)
+//
+// The 4-byte source-node envelope replaces the simulated Datagram's src
+// field: the sim fabric hands the receiver the sender's NodeId out of band,
+// a real socket only hands it the sender's address. Receivers learn (and
+// refresh) the NodeId -> UDP address mapping from this envelope, which is
+// how a server accepts clients it never configured. Outbound peers must be
+// known — either via add_peer() or learned from earlier inbound traffic.
+//
+// Threading: a background I/O thread owns the socket receive path and the
+// retransmit timers. send()/send_sync()/recv() are safe to call from any
+// thread. recv(port) must not be called for one port from two threads at
+// once (messages would be split arbitrarily between them) — same single-
+// consumer rule the sim mailboxes have.
+//
+// Not yet implemented vs the sim endpoint (see docs/PROTOCOL.md §8):
+// receiver-side NACK generation (incoming NACKs *are* honored) and the
+// per-byte CPU cost model (real CPUs charge themselves). Gap skip *is*
+// implemented: a sender that exhausts its retries leaves a permanent hole in
+// its sequence stream, and once newer messages are complete the receiver
+// skips the hole after rto × (max_retries + 2) of stagnation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+
+#include "live/clock.h"
+#include "net/frame.h"
+#include "net/types.h"
+#include "util/status.h"
+
+namespace mocha::live {
+
+struct EndpointOptions {
+  // Max UDP payload bytes per datagram (envelope + frame header + chunk).
+  std::size_t mtu = 1400;
+  std::int64_t rto_us = 20'000;  // retransmit timeout
+  int max_retries = 10;          // resends before a message fails
+  // Io-loop heartbeat when no retransmit timer is pending.
+  std::int64_t idle_poll_us = 100'000;
+};
+
+class Endpoint {
+ public:
+  struct Message {
+    net::NodeId src = net::kInvalidNode;
+    net::Port port = 0;
+    util::Buffer payload;
+  };
+
+  // Binds a UDP socket on `udp_port` (0 picks a free port; see udp_port())
+  // and starts the I/O thread. Throws std::system_error on socket failure.
+  Endpoint(net::NodeId node, std::uint16_t udp_port,
+           EndpointOptions opts = {}, Clock* clock = nullptr);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  net::NodeId node() const { return node_; }
+  std::uint16_t udp_port() const { return udp_port_; }
+  const EndpointOptions& options() const { return opts_; }
+
+  // Registers (or updates) the UDP address of `peer`. `host` is an IPv4
+  // dotted quad ("127.0.0.1") or a hostname.
+  void add_peer(net::NodeId peer, const std::string& host,
+                std::uint16_t port);
+  bool knows_peer(net::NodeId peer) const;
+
+  // Reliable, sequenced send. Returns after fragmentation + first
+  // transmission; delivery is guaranteed by background retransmission while
+  // the peer lives. Throws std::logic_error when `dst` was never registered
+  // or learned.
+  void send(net::NodeId dst, net::Port port, util::Buffer payload);
+
+  // Like send(), but waits for the peer's transport ACK; kTimeout when the
+  // message is still unacknowledged after `timeout_us` (the live failure-
+  // detection primitive, mirroring the sim endpoint).
+  util::Status send_sync(net::NodeId dst, net::Port port,
+                         util::Buffer payload, std::int64_t timeout_us);
+
+  // Blocking receive of the next message addressed to `port`.
+  Message recv(net::Port port);
+  // Timed receive; 0 polls without blocking.
+  std::optional<Message> recv_for(net::Port port, std::int64_t timeout_us);
+
+  // --- Statistics ---
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t fragments_sent() const { return fragments_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  using MsgKey = std::pair<net::NodeId, std::uint64_t>;  // (peer, seq)
+
+  struct Outstanding {
+    std::vector<util::Buffer> datagrams;  // envelope + frame, resend-ready
+    sockaddr_in addr{};
+    std::int64_t next_resend_us = 0;
+    int retries_left = 0;
+    bool acked = false;
+    bool failed = false;
+  };
+
+  struct PortQueue {
+    std::deque<Message> messages;
+    std::condition_variable cv;
+  };
+
+  // Armed while complete messages are stashed beyond a sequence hole.
+  struct GapSkip {
+    std::int64_t deadline_us = 0;
+    std::uint64_t expected = 0;  // next_seq_in_ when the timer was armed
+  };
+
+  void io_loop();
+  void handle_datagram(const std::uint8_t* data, std::size_t len,
+                       const sockaddr_in& from);
+  void handle_data(net::NodeId src, const net::DataFrame& frame);
+  void fire_timers(std::int64_t now_us);
+  std::int64_t next_deadline_us();  // mu_ held
+  void deliver_in_order(net::NodeId src);   // mu_ held
+  // (Re)arms or clears the gap-skip timer for `src` (mu_ held).
+  void update_gap_skip(net::NodeId src, std::int64_t now_us);
+  bool has_stashed(net::NodeId src) const;  // mu_ held
+  void send_ack(net::NodeId dst, std::uint64_t seq);  // mu_ held
+  void transmit(const sockaddr_in& addr, const util::Buffer& datagram);
+  void wake_io_thread();
+  PortQueue& port_queue(net::Port port);  // mu_ held
+
+  net::NodeId node_;
+  EndpointOptions opts_;
+  Clock* clock_;
+  std::size_t max_chunk_;  // payload bytes per fragment
+  int sock_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t udp_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ack_cv_;  // send_sync waiters
+  std::map<net::NodeId, sockaddr_in> peers_;
+  std::map<net::NodeId, std::uint64_t> next_seq_out_;
+  std::map<MsgKey, std::shared_ptr<Outstanding>> outstanding_;
+  std::map<MsgKey, net::FragmentAssembler> reassembly_;
+  std::map<net::NodeId, std::uint64_t> next_seq_in_;
+  std::map<MsgKey, Message> stashed_;  // complete but out of order
+  std::map<net::NodeId, GapSkip> gap_skips_;
+  std::map<net::Port, std::unique_ptr<PortQueue>> delivered_;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> fragments_sent_{0};
+  std::atomic<std::uint64_t> retransmissions_{0};
+};
+
+// Bytes of the per-datagram source-node envelope preceding the frame.
+constexpr std::size_t kLiveEnvelopeBytes = 4;
+
+}  // namespace mocha::live

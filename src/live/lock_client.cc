@@ -1,0 +1,128 @@
+#include "live/lock_client.h"
+
+namespace mocha::live {
+
+using replica::GrantFlag;
+using replica::LockWireMode;
+
+LockClient::LockClient(Endpoint& endpoint, net::NodeId server,
+                       LockClientOptions opts)
+    : endpoint_(endpoint),
+      server_(server),
+      opts_(opts),
+      clock_(&Clock::monotonic()) {}
+
+LockClient::LockLocal& LockClient::local(replica::LockId lock_id) {
+  auto it = locks_.find(lock_id);
+  if (it == locks_.end()) {
+    it = locks_.emplace(lock_id, LockLocal{}).first;
+    it->second.grant_port = next_port_++;
+    it->second.data_port = next_port_++;
+  }
+  return it->second;
+}
+
+void LockClient::register_lock(replica::LockId lock_id) {
+  local(lock_id);  // allocate reply ports
+  util::Buffer msg;
+  replica::RegisterLockMsg{lock_id, endpoint_.node()}.encode(msg);
+  endpoint_.send(server_, replica::kSyncPort, std::move(msg));
+}
+
+util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
+                                 std::int64_t expected_hold_us) {
+  LockLocal& lk = local(lock_id);
+  if (lk.held) {
+    return util::Status(util::StatusCode::kInvalid,
+                        "lock " + std::to_string(lock_id) +
+                            " already held by this client");
+  }
+
+  // Drain leftovers from earlier cycles (a stale grant after a timed-out
+  // acquire) so they cannot be mistaken for this cycle's reply.
+  while (endpoint_.recv_for(lk.grant_port, 0).has_value()) {
+  }
+
+  const std::int64_t t_request = clock_->now_us();
+  const std::uint64_t nonce = ++nonce_;
+  replica::AcquireLockMsg msg;
+  msg.lock_id = lock_id;
+  msg.site = endpoint_.node();
+  msg.grant_port = lk.grant_port;
+  msg.data_port = lk.data_port;
+  msg.expected_hold_us = static_cast<std::uint64_t>(
+      expected_hold_us != 0 ? expected_hold_us
+                            : opts_.default_expected_hold_us);
+  msg.mode = mode;
+  msg.nonce = nonce;
+  util::Buffer request;
+  msg.encode(request);
+  endpoint_.send(server_, replica::kSyncPort, std::move(request));
+
+  const std::int64_t deadline = t_request + opts_.grant_timeout_us;
+  while (true) {
+    const std::int64_t now = clock_->now_us();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout,
+                          "lock " + std::to_string(lock_id) +
+                              ": no GRANT from lock server");
+    }
+    auto reply = endpoint_.recv_for(lk.grant_port, deadline - now);
+    if (!reply.has_value()) continue;
+    util::WireReader reader(reply->payload);
+    if (reader.u8() != replica::kGrant) continue;
+    const auto grant = replica::GrantMsg::decode(reader);
+    if (grant.nonce != nonce) continue;  // stale grant: discard
+
+    if (grant.flag == GrantFlag::kRejected) {
+      return util::Status(
+          util::StatusCode::kRejected,
+          "site is blacklisted after a broken lock (failed while owning)");
+    }
+    // kVersionOk and kNeedNewVersion both end here: with no live replica
+    // daemon there is no data transfer to wait for — adopt the version.
+    lk.version = grant.version;
+    lk.held = true;
+    lk.shared = mode == LockWireMode::kShared;
+    last_grant_latency_us_ = clock_->now_us() - t_request;
+    ++acquires_;
+    return util::Status::ok();
+  }
+}
+
+util::Status LockClient::release(replica::LockId lock_id) {
+  LockLocal& lk = local(lock_id);
+  if (!lk.held) {
+    return util::Status(util::StatusCode::kInvalid,
+                        "release() without a held lock");
+  }
+  const bool shared = lk.shared;
+  const replica::Version new_version = shared ? lk.version : lk.version + 1;
+  lk.version = new_version;
+  lk.held = false;
+  lk.shared = false;
+
+  replica::ReleaseLockMsg msg;
+  msg.lock_id = lock_id;
+  msg.site = endpoint_.node();
+  msg.new_version = new_version;
+  msg.up_to_date = {endpoint_.node()};
+  msg.mode = shared ? LockWireMode::kShared : LockWireMode::kExclusive;
+  util::Buffer release;
+  msg.encode(release);
+  endpoint_.send(server_, replica::kSyncPort, std::move(release));
+  ++releases_;
+  return util::Status::ok();
+}
+
+bool LockClient::held(replica::LockId lock_id) const {
+  auto it = locks_.find(lock_id);
+  return it != locks_.end() && it->second.held;
+}
+
+replica::Version LockClient::version(replica::LockId lock_id) const {
+  auto it = locks_.find(lock_id);
+  return it == locks_.end() ? 0 : it->second.version;
+}
+
+}  // namespace mocha::live

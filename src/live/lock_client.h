@@ -1,0 +1,84 @@
+// live::LockClient — the application-thread side of the entry-consistency
+// lock protocol over real sockets (the wall-clock twin of
+// replica::ReplicaLock::lock()/unlock(), without the replica payload).
+//
+// Speaks the exact kAcquireLock / kReleaseLock / kRegisterLock / kGrant
+// messages from replica/wire.h against a live::LockServer. Grants carrying
+// NEED_NEW_VERSION are accepted without a data transfer (no live daemon
+// yet); the client adopts the server's version number so version arithmetic
+// stays consistent across holders.
+//
+// Not thread-safe: one LockClient serves one application thread, matching
+// the per-thread grant/data reply ports of the paper's design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "live/endpoint.h"
+#include "replica/wire.h"
+
+namespace mocha::live {
+
+struct LockClientOptions {
+  std::int64_t grant_timeout_us = 10'000'000;
+  std::int64_t default_expected_hold_us = 500'000;
+};
+
+class LockClient {
+ public:
+  // `server` must already be a known peer of `endpoint` (add_peer). The
+  // client's site id on the wire is endpoint.node().
+  LockClient(Endpoint& endpoint, net::NodeId server,
+             LockClientOptions opts = {});
+
+  // Registers this site as a holder of `lock_id` with the server
+  // (fire-and-forget; acquire() also registers implicitly).
+  void register_lock(replica::LockId lock_id);
+
+  // Acquires `lock_id`; blocks until the GRANT arrives. `expected_hold_us`
+  // feeds the server's lease-based failure detector; 0 uses the default.
+  // Errors: kRejected (this site was blacklisted after a broken lock),
+  // kTimeout (no grant within grant_timeout).
+  util::Status acquire(
+      replica::LockId lock_id,
+      replica::LockWireMode mode = replica::LockWireMode::kExclusive,
+      std::int64_t expected_hold_us = 0);
+
+  // Releases a held lock; exclusive releases publish version + 1.
+  util::Status release(replica::LockId lock_id);
+
+  bool held(replica::LockId lock_id) const;
+  replica::Version version(replica::LockId lock_id) const;
+
+  // Request-to-GRANT latency of the most recent successful acquire().
+  std::int64_t last_grant_latency_us() const { return last_grant_latency_us_; }
+
+  std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t releases() const { return releases_; }
+
+ private:
+  struct LockLocal {
+    bool held = false;
+    bool shared = false;
+    replica::Version version = 0;
+    net::Port grant_port = 0;
+    net::Port data_port = 0;
+  };
+
+  LockLocal& local(replica::LockId lock_id);
+
+  Endpoint& endpoint_;
+  net::NodeId server_;
+  LockClientOptions opts_;
+  Clock* clock_;
+  std::map<replica::LockId, LockLocal> locks_;
+  // Per-thread reply ports, mirroring runtime::ports::kAppBase.
+  net::Port next_port_ = 1000;
+  std::uint64_t nonce_ = 0;
+  std::int64_t last_grant_latency_us_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace mocha::live

@@ -1,0 +1,229 @@
+#include "live/lock_server.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace mocha::live {
+
+using replica::GrantFlag;
+using replica::LockWireMode;
+
+LockServer::LockServer(Endpoint& endpoint, LockServerOptions opts)
+    : endpoint_(endpoint), opts_(opts) {}
+
+LockServer::~LockServer() { stop(); }
+
+void LockServer::start() {
+  if (running_.exchange(true)) return;
+  serve_thread_ = std::thread([this] { loop(); });
+}
+
+void LockServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+LockServer::Stats LockServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool LockServer::is_blacklisted(std::uint32_t site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blacklist_.contains(site);
+}
+
+void LockServer::loop() {
+  while (running_.load()) {
+    // Wake at least every lease interval while any lock is held; otherwise
+    // still wake periodically to notice stop().
+    bool any_lease = false;
+    for (const auto& [id, lock] : locks_) {
+      if (!lock.active.empty()) {
+        any_lease = true;
+        break;
+      }
+    }
+    const std::int64_t wait_us =
+        any_lease ? opts_.lease_check_interval_us : 200'000;
+    auto msg = endpoint_.recv_for(replica::kSyncPort, wait_us);
+    if (msg.has_value()) handle(std::move(*msg));
+    scan_leases();
+  }
+}
+
+void LockServer::handle(Endpoint::Message msg) {
+  try {
+    util::WireReader reader(msg.payload);
+    switch (reader.u8()) {
+      case replica::kAcquireLock:
+        handle_acquire(reader);
+        break;
+      case replica::kReleaseLock:
+        handle_release(reader);
+        break;
+      case replica::kRegisterLock: {
+        const auto reg = replica::RegisterLockMsg::decode(reader);
+        LockState& lock = locks_[reg.lock_id];
+        lock.id = reg.lock_id;
+        lock.holders.insert(reg.site);
+        std::lock_guard<std::mutex> guard(mu_);
+        ++stats_.registrations;
+        break;
+      }
+      default:
+        // Sim-only traffic (replica registry, cached directory, …) is not
+        // served by the live lock server yet.
+        break;
+    }
+  } catch (const util::CodecError& err) {
+    MOCHA_DEBUG("live") << "lock server: dropping malformed message from node "
+                        << msg.src << ": " << err.what();
+  }
+}
+
+void LockServer::handle_acquire(util::WireReader& reader) {
+  const auto msg = replica::AcquireLockMsg::decode(reader);
+  Request req;
+  req.lock_id = msg.lock_id;
+  req.site = msg.site;
+  req.grant_port = msg.grant_port;
+  req.data_port = msg.data_port;
+  req.expected_hold_us = msg.expected_hold_us != 0
+                             ? msg.expected_hold_us
+                             : static_cast<std::uint64_t>(
+                                   opts_.default_expected_hold_us);
+  req.mode = msg.mode;
+  req.nonce = msg.nonce;
+
+  if (blacklist_.contains(req.site)) {
+    // §4: a thread whose lock was broken is prevented from future requests.
+    send_grant(req, 0, GrantFlag::kRejected, {});
+    return;
+  }
+
+  LockState& lock = locks_[req.lock_id];
+  lock.id = req.lock_id;
+  lock.holders.insert(req.site);
+  lock.waiting.push_back(req);
+  grant_from_queue(lock);
+}
+
+void LockServer::grant_from_queue(LockState& lock) {
+  // Strict FIFO with shared batching — same policy as the sim SyncService:
+  // the head is granted; while it is shared, the consecutive run of shared
+  // requests behind it joins, so a waiting writer blocks later readers.
+  while (!lock.waiting.empty()) {
+    const Request& head = lock.waiting.front();
+    if (head.mode == LockWireMode::kExclusive) {
+      if (!lock.active.empty()) return;
+      Request req = head;
+      lock.waiting.pop_front();
+      activate(lock, std::move(req));
+      return;
+    }
+    if (lock.has_active_exclusive()) return;
+    Request req = head;
+    lock.waiting.pop_front();
+    activate(lock, std::move(req));
+    // continue: grant the consecutive shared run
+  }
+}
+
+void LockServer::activate(LockState& lock, Request req) {
+  req.lease_deadline_us =
+      Clock::monotonic().now_us() +
+      static_cast<std::int64_t>(req.expected_hold_us) + opts_.lease_grace_us;
+
+  // Version 0 = no release yet, every holder still has initial contents.
+  // Otherwise the up-to-date set decides whether the requester's copy is
+  // current. The live runtime has no replica-transfer daemon yet, so a
+  // NEED_NEW_VERSION grant is advisory (clients adopt the version number;
+  // no data follows).
+  const bool current =
+      lock.version == 0 || lock.up_to_date.contains(req.site);
+  send_grant(req, lock.version,
+             current ? GrantFlag::kVersionOk : GrantFlag::kNeedNewVersion,
+             lock.holders);
+  lock.active.push_back(std::move(req));
+  std::lock_guard<std::mutex> guard(mu_);
+  ++stats_.grants;
+}
+
+void LockServer::send_grant(const Request& req, replica::Version version,
+                            GrantFlag flag,
+                            const std::set<std::uint32_t>& holders) {
+  replica::GrantMsg grant;
+  grant.lock_id = req.lock_id;
+  grant.nonce = req.nonce;
+  grant.version = version;
+  grant.flag = flag;
+  grant.holders.assign(holders.begin(), holders.end());
+  util::Buffer msg;
+  grant.encode(msg);
+  endpoint_.send(req.site, req.grant_port, std::move(msg));
+}
+
+void LockServer::handle_release(util::WireReader& reader) {
+  const auto msg = replica::ReleaseLockMsg::decode(reader);
+  auto it = locks_.find(msg.lock_id);
+  if (it == locks_.end()) return;
+  LockState& lock = it->second;
+
+  auto active_it = std::find_if(
+      lock.active.begin(), lock.active.end(),
+      [&](const Request& r) { return r.site == msg.site; });
+  if (active_it != lock.active.end()) {
+    lock.active.erase(active_it);
+  } else if (!lock.active.empty() || blacklist_.contains(msg.site)) {
+    // Stale release — e.g. from an owner whose lock was already broken.
+    return;
+  }
+
+  if (msg.mode == LockWireMode::kExclusive) {
+    lock.version = msg.new_version;
+    lock.last_owner = msg.site;
+    lock.up_to_date.clear();
+    lock.up_to_date.insert(msg.up_to_date.begin(), msg.up_to_date.end());
+  } else {
+    // A reader received (or already had) the current version.
+    lock.up_to_date.insert(msg.site);
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++stats_.releases;
+  }
+  grant_from_queue(lock);
+}
+
+void LockServer::scan_leases() {
+  const std::int64_t now = Clock::monotonic().now_us();
+  for (auto& [id, lock] : locks_) {
+    for (std::size_t i = 0; i < lock.active.size();) {
+      Request& owner = lock.active[i];
+      if (owner.lease_deadline_us == 0 || now <= owner.lease_deadline_us) {
+        ++i;
+        continue;
+      }
+      // §4, failure of a lock-owning thread. The sim service confirms with
+      // a daemon heartbeat first; the live runtime has no daemon yet, so an
+      // expired lease breaks the lock directly.
+      const Request dead = owner;
+      lock.active.erase(lock.active.begin() + static_cast<std::ptrdiff_t>(i));
+      blacklist_.insert(dead.site);
+      lock.holders.erase(dead.site);
+      lock.up_to_date.erase(dead.site);
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        ++stats_.locks_broken;
+      }
+      MOCHA_INFO("live") << "lock " << id << " broken: site " << dead.site
+                         << " exceeded its lease; site blacklisted";
+      grant_from_queue(lock);
+      // the erase removed index i; re-examine the same slot
+    }
+  }
+}
+
+}  // namespace mocha::live

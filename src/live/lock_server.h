@@ -1,0 +1,109 @@
+// live::LockServer — the central synchronization thread over real sockets.
+//
+// The wall-clock twin of replica::SyncService, reduced to the lock core:
+// strict-FIFO grant queue with shared-mode batching, version numbers, the
+// up-to-date replica set, lock leases, and the §4 blacklist. It speaks the
+// exact kAcquireLock / kReleaseLock / kRegisterLock / kGrant messages from
+// replica/wire.h on logical port replica::kSyncPort.
+//
+// Not yet carried over from the sim service (see docs/PROTOCOL.md §8):
+// replica transfer directives (grants still report NEED_NEW_VERSION from the
+// up-to-date set, but no daemon exists to move state), version polling, and
+// the heartbeat confirm before a lease break — an expired lease breaks the
+// lock directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "live/endpoint.h"
+#include "replica/wire.h"
+
+namespace mocha::live {
+
+struct LockServerOptions {
+  std::int64_t default_expected_hold_us = 500'000;
+  std::int64_t lease_grace_us = 300'000;
+  // The serve loop wakes at least this often to scan leases while any lock
+  // is held.
+  std::int64_t lease_check_interval_us = 100'000;
+};
+
+class LockServer {
+ public:
+  struct Stats {
+    std::uint64_t grants = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t locks_broken = 0;
+    std::uint64_t registrations = 0;
+  };
+
+  LockServer(Endpoint& endpoint, LockServerOptions opts = {});
+  ~LockServer();
+
+  LockServer(const LockServer&) = delete;
+  LockServer& operator=(const LockServer&) = delete;
+
+  // Starts / stops the serve thread. stop() is idempotent and joins.
+  void start();
+  void stop();
+
+  Stats stats() const;
+  bool is_blacklisted(std::uint32_t site) const;
+
+ private:
+  struct Request {
+    replica::LockId lock_id = 0;
+    std::uint32_t site = 0;
+    net::Port grant_port = 0;
+    net::Port data_port = 0;
+    std::uint64_t expected_hold_us = 0;
+    replica::LockWireMode mode = replica::LockWireMode::kExclusive;
+    std::uint64_t nonce = 0;
+    std::int64_t lease_deadline_us = 0;  // set when the request activates
+  };
+
+  struct LockState {
+    replica::LockId id = 0;
+    std::vector<Request> active;  // current holders (readers, or one writer)
+    std::deque<Request> waiting;
+    replica::Version version = 0;
+    std::optional<std::uint32_t> last_owner;  // last *writer*
+    std::set<std::uint32_t> up_to_date;       // sites holding `version`
+    std::set<std::uint32_t> holders;          // registered replica holders
+    bool has_active_exclusive() const {
+      return active.size() == 1 &&
+             active.front().mode == replica::LockWireMode::kExclusive;
+    }
+  };
+
+  void loop();
+  void handle(Endpoint::Message msg);
+  void handle_acquire(util::WireReader& reader);
+  void handle_release(util::WireReader& reader);
+  void grant_from_queue(LockState& lock);
+  void activate(LockState& lock, Request req);
+  void send_grant(const Request& req, replica::Version version,
+                  replica::GrantFlag flag,
+                  const std::set<std::uint32_t>& holders);
+  void scan_leases();
+
+  Endpoint& endpoint_;
+  LockServerOptions opts_;
+  std::atomic<bool> running_{false};
+  std::thread serve_thread_;
+
+  // Owned by the serve thread while it runs; stats copied out under mu_.
+  std::map<replica::LockId, LockState> locks_;
+  std::set<std::uint32_t> blacklist_;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace mocha::live

@@ -1,0 +1,121 @@
+#include "net/frame.h"
+
+#include <algorithm>
+
+namespace mocha::net {
+
+void encode_data_frame(util::Buffer& out, std::uint64_t seq,
+                       std::uint32_t frag_idx, std::uint32_t frag_count,
+                       Port port, std::span<const std::uint8_t> chunk) {
+  util::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(FrameType::kData));
+  writer.u64(seq);
+  writer.u32(frag_idx);
+  writer.u32(frag_count);
+  writer.u16(port);
+  writer.raw(chunk);
+}
+
+void encode_ack_frame(util::Buffer& out, std::uint64_t seq) {
+  util::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(FrameType::kAck));
+  writer.u64(seq);
+}
+
+void encode_nack_frame(util::Buffer& out, const NackFrame& nack) {
+  util::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(FrameType::kNack));
+  writer.u64(nack.seq);
+  writer.u32(static_cast<std::uint32_t>(nack.missing.size()));
+  for (std::uint32_t idx : nack.missing) writer.u32(idx);
+}
+
+std::vector<util::Buffer> fragment_message(
+    std::uint64_t seq, Port port, std::span<const std::uint8_t> payload,
+    std::size_t max_chunk) {
+  const std::size_t total = payload.size();
+  const std::uint32_t frag_count = static_cast<std::uint32_t>(
+      total == 0 ? 1 : (total + max_chunk - 1) / max_chunk);
+  std::vector<util::Buffer> frames;
+  frames.reserve(frag_count);
+  for (std::uint32_t i = 0; i < frag_count; ++i) {
+    const std::size_t offset = static_cast<std::size_t>(i) * max_chunk;
+    const std::size_t len = std::min(max_chunk, total - offset);
+    util::Buffer frame;
+    frame.reserve(kFragHeaderBytes + len);
+    encode_data_frame(frame, seq, i, frag_count, port,
+                      payload.subspan(offset, len));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+FrameType decode_frame_type(util::WireReader& reader) {
+  const std::uint8_t raw = reader.u8();
+  if (raw > static_cast<std::uint8_t>(FrameType::kNack)) {
+    throw util::CodecError("unknown MochaNet frame type " +
+                           std::to_string(raw));
+  }
+  return static_cast<FrameType>(raw);
+}
+
+DataFrame decode_data_frame(util::WireReader& reader) {
+  DataFrame frame;
+  frame.seq = reader.u64();
+  frame.frag_idx = reader.u32();
+  frame.frag_count = reader.u32();
+  frame.port = reader.u16();
+  frame.chunk = reader.raw(reader.remaining());
+  return frame;
+}
+
+AckFrame decode_ack_frame(util::WireReader& reader) {
+  return AckFrame{reader.u64()};
+}
+
+NackFrame decode_nack_frame(util::WireReader& reader) {
+  NackFrame nack;
+  nack.seq = reader.u64();
+  const std::uint32_t n = reader.u32();
+  nack.missing.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nack.missing.push_back(reader.u32());
+  return nack;
+}
+
+bool FragmentAssembler::add(const DataFrame& frame) {
+  if (frame.frag_count == 0) {
+    throw util::CodecError("DATA frame with frag_count 0");
+  }
+  if (frag_count_ == 0) {
+    frag_count_ = frame.frag_count;
+    port_ = frame.port;
+    have_.assign(frag_count_, false);
+    parts_.resize(frag_count_);
+  }
+  if (frame.frag_idx >= frag_count_ || have_[frame.frag_idx]) return false;
+  have_[frame.frag_idx] = true;
+  parts_[frame.frag_idx].assign(frame.chunk.begin(), frame.chunk.end());
+  ++frags_received_;
+  return true;
+}
+
+std::vector<std::uint32_t> FragmentAssembler::missing() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < frag_count_; ++i) {
+    if (!have_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+util::Buffer FragmentAssembler::assemble() const {
+  util::Buffer payload;
+  std::size_t total = 0;
+  for (const util::Buffer& part : parts_) total += part.size();
+  payload.reserve(total);
+  for (const util::Buffer& part : parts_) {
+    payload.insert(payload.end(), part.begin(), part.end());
+  }
+  return payload;
+}
+
+}  // namespace mocha::net

@@ -1,0 +1,114 @@
+// MochaNet frame codec — the single source of truth for what a MochaNet
+// frame looks like on the wire.
+//
+// Both transport backends speak exactly this format:
+//   - `net::MochaNetEndpoint` (simulated fabric, deterministic virtual time)
+//   - `live::Endpoint`        (real UDP sockets, wall-clock time)
+// so frames captured from one backend decode with the other. The sim fabric
+// carries the (src, dst) node addressing in its Datagram envelope; the live
+// backend prepends a 4-byte source-node envelope to each UDP datagram (see
+// live/endpoint.h) — the frame bytes themselves are identical.
+//
+// Frame layouts (all integers little-endian, util::WireWriter conventions):
+//   DATA (0): u8 type, u64 seq, u32 frag_idx, u32 frag_count,
+//             u16 logical_port, raw chunk
+//   ACK  (1): u8 type, u64 seq
+//   NACK (2): u8 type, u64 seq, u32 n, u32 missing_idx ...
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/types.h"
+#include "util/buffer.h"
+
+namespace mocha::net {
+
+enum class FrameType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+
+// DATA frame overhead: type(1) + seq(8) + frag_idx(4) + frag_count(4) +
+// port(2). A transport with MTU M carries at most M - kFragHeaderBytes
+// payload bytes per fragment.
+constexpr std::size_t kFragHeaderBytes = 19;
+
+struct DataFrame {
+  std::uint64_t seq = 0;
+  std::uint32_t frag_idx = 0;
+  std::uint32_t frag_count = 1;
+  Port port = 0;  // upward-multiplexed logical port
+  // View into the frame buffer; valid only while that buffer lives.
+  std::span<const std::uint8_t> chunk;
+};
+
+struct AckFrame {
+  std::uint64_t seq = 0;
+};
+
+struct NackFrame {
+  std::uint64_t seq = 0;
+  std::vector<std::uint32_t> missing;  // fragment indices still wanted
+};
+
+// --- Encoding ---
+
+// Appends one DATA frame (header + chunk) to `out`.
+void encode_data_frame(util::Buffer& out, std::uint64_t seq,
+                       std::uint32_t frag_idx, std::uint32_t frag_count,
+                       Port port, std::span<const std::uint8_t> chunk);
+void encode_ack_frame(util::Buffer& out, std::uint64_t seq);
+void encode_nack_frame(util::Buffer& out, const NackFrame& nack);
+
+// Splits `payload` into DATA frames of at most `max_chunk` payload bytes
+// each (at least one frame — empty messages travel as a single empty
+// fragment). Returns the ready-to-send frame buffers in fragment order.
+std::vector<util::Buffer> fragment_message(std::uint64_t seq, Port port,
+                                           std::span<const std::uint8_t> payload,
+                                           std::size_t max_chunk);
+
+// --- Decoding ---
+// Callers read the type byte first (frame dispatch), then decode the rest.
+// All decoders throw util::CodecError on truncated or inconsistent input.
+
+FrameType decode_frame_type(util::WireReader& reader);
+DataFrame decode_data_frame(util::WireReader& reader);
+AckFrame decode_ack_frame(util::WireReader& reader);
+NackFrame decode_nack_frame(util::WireReader& reader);
+
+// --- Reassembly ---
+
+// Collects the fragments of one message. Transport-neutral: the sim endpoint
+// wraps it with virtual-time NACK bookkeeping, the live endpoint with
+// wall-clock state.
+class FragmentAssembler {
+ public:
+  // Folds one DATA fragment in. Returns false for duplicates and for
+  // fragments inconsistent with the first one seen (bad index); such frames
+  // are ignored. Throws CodecError on a zero frag_count.
+  bool add(const DataFrame& frame);
+
+  bool complete() const {
+    return frag_count_ != 0 && frags_received_ == frag_count_;
+  }
+  std::uint32_t frag_count() const { return frag_count_; }
+  std::uint32_t frags_received() const { return frags_received_; }
+  Port port() const { return port_; }
+  bool have(std::uint32_t idx) const {
+    return idx < have_.size() && have_[idx];
+  }
+  // Fragment indices not yet received (NACK payload).
+  std::vector<std::uint32_t> missing() const;
+
+  // Concatenates the fragments into the original message payload.
+  // Precondition: complete().
+  util::Buffer assemble() const;
+
+ private:
+  std::uint32_t frag_count_ = 0;  // 0 = no fragment seen yet
+  std::uint32_t frags_received_ = 0;
+  Port port_ = 0;
+  std::vector<bool> have_;
+  std::vector<util::Buffer> parts_;
+};
+
+}  // namespace mocha::net

@@ -6,13 +6,6 @@
 
 namespace mocha::net {
 
-namespace {
-enum class FrameType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
-
-// type(1) + seq(8) + frag_idx(4) + frag_count(4) + port(2)
-constexpr std::size_t kFragHeaderBytes = 19;
-}  // namespace
-
 MochaNetEndpoint::MochaNetEndpoint(Network& net, NodeId node)
     : net_(net), sched_(net.scheduler()), node_(node) {
   assert(net_.profile().mtu > kFragHeaderBytes);
@@ -61,11 +54,6 @@ std::uint64_t MochaNetEndpoint::send_internal(NodeId dst, Port port,
   auto [seq_it, unused] = next_seq_out_.try_emplace(dst, 1);
   const std::uint64_t seq = seq_it->second++;
 
-  const std::size_t total = payload.size();
-  const std::uint32_t frag_count = static_cast<std::uint32_t>(
-      total == 0 ? 1 : (total + max_fragment_payload_ - 1) /
-                           max_fragment_payload_);
-
   auto out = std::make_shared<Outstanding>();
   out->retries_left = net_.profile().mn_max_retries;
   if (synchronous) out->waiter = std::make_unique<sim::Condition>(sched_);
@@ -73,21 +61,17 @@ std::uint64_t MochaNetEndpoint::send_internal(NodeId dst, Port port,
   // Per-message protocol work at the sender (stream setup, header build).
   sched_.compute(net_.profile().mn_msg_cpu_us);
 
-  for (std::uint32_t i = 0; i < frag_count; ++i) {
-    const std::size_t offset = static_cast<std::size_t>(i) * max_fragment_payload_;
-    const std::size_t len = std::min(max_fragment_payload_, total - offset);
+  // Shared frame codec (net/frame.h): identical bytes to live::Endpoint.
+  std::vector<util::Buffer> frames =
+      fragment_message(seq, port, payload, max_fragment_payload_);
+  for (util::Buffer& frame : frames) {
+    const std::size_t len = frame.size() - kFragHeaderBytes;
     Datagram dgram;
     dgram.src = node_;
     dgram.dst = dst;
     dgram.src_port = kWirePort;
     dgram.dst_port = kWirePort;
-    util::WireWriter writer(dgram.payload);
-    writer.u8(static_cast<std::uint8_t>(FrameType::kData));
-    writer.u64(seq);
-    writer.u32(i);
-    writer.u32(frag_count);
-    writer.u16(port);
-    writer.raw(std::span<const std::uint8_t>(payload.data() + offset, len));
+    dgram.payload = std::move(frame);
     out->fragments.push_back(dgram);
 
     // User-level (interpreted) fragmentation cost, paid inline by the sender.
@@ -140,8 +124,7 @@ void MochaNetEndpoint::receiver_loop() {
   while (true) {
     Datagram dgram = wire_box_->recv();
     util::WireReader reader(dgram.payload);
-    auto type = static_cast<FrameType>(reader.u8());
-    switch (type) {
+    switch (decode_frame_type(reader)) {
       case FrameType::kData:
         handle_data(dgram, reader);
         break;
@@ -157,17 +140,14 @@ void MochaNetEndpoint::receiver_loop() {
 
 void MochaNetEndpoint::handle_data(const Datagram& dgram,
                                    util::WireReader& reader) {
-  const std::uint64_t seq = reader.u64();
-  const std::uint32_t frag_idx = reader.u32();
-  const std::uint32_t frag_count = reader.u32();
-  const Port port = reader.u16();
-  auto chunk = reader.raw(reader.remaining());
+  const DataFrame frame = decode_data_frame(reader);
+  const std::uint64_t seq = frame.seq;
 
   // User-level reassembly cost at the receiver.
   const NetProfile& prof = net_.profile();
-  sched_.compute(prof.mn_frag_cpu_us +
-                 static_cast<sim::Duration>(prof.mn_per_byte_us *
-                                            static_cast<double>(chunk.size())));
+  sched_.compute(prof.mn_frag_cpu_us + static_cast<sim::Duration>(
+                                           prof.mn_per_byte_us *
+                                           static_cast<double>(frame.chunk.size())));
 
   auto [in_it, unused] = next_seq_in_.try_emplace(dgram.src, 1);
   if (seq < in_it->second || stashed_.contains({dgram.src, seq})) {
@@ -178,17 +158,9 @@ void MochaNetEndpoint::handle_data(const Datagram& dgram,
 
   MsgKey key{dgram.src, seq};
   Reassembly& re = reassembly_[key];
-  if (re.frag_count == 0) {
-    re.frag_count = frag_count;
-    re.have.assign(frag_count, false);
-    re.parts.resize(frag_count);
-    re.port = port;
-  }
-  if (frag_idx >= re.frag_count || re.have[frag_idx]) return;  // dup fragment
-  re.have[frag_idx] = true;
-  re.parts[frag_idx].assign(chunk.begin(), chunk.end());
+  if (!re.assembler.add(frame)) return;  // dup fragment
   re.last_arrival = sched_.now();
-  if (++re.frags_received < re.frag_count) {
+  if (!re.assembler.complete()) {
     if (prof.mn_selective_retransmit && !re.nack_armed) {
       re.nack_armed = true;
       arm_nack(key);
@@ -201,10 +173,8 @@ void MochaNetEndpoint::handle_data(const Datagram& dgram,
   sched_.compute(prof.mn_msg_cpu_us);
   Message msg;
   msg.src = dgram.src;
-  msg.port = re.port;
-  for (util::Buffer& part : re.parts) {
-    msg.payload.insert(msg.payload.end(), part.begin(), part.end());
-  }
+  msg.port = re.assembler.port();
+  msg.payload = re.assembler.assemble();
   reassembly_.erase(key);
   send_ack(dgram.src, seq);
   stashed_.emplace(key, std::move(msg));
@@ -265,20 +235,8 @@ void MochaNetEndpoint::arm_nack(MsgKey key) {
     nack.dst = key.first;
     nack.src_port = kWirePort;
     nack.dst_port = kWirePort;
-    util::WireWriter writer(nack.payload);
-    writer.u8(static_cast<std::uint8_t>(FrameType::kNack));
-    writer.u64(key.second);
-    std::uint32_t missing = 0;
-    for (std::uint32_t i = 0; i < re.frag_count; ++i) {
-      if (!re.have[i]) ++missing;
-    }
-    writer.u32(missing);
-    for (std::uint32_t i = 0; i < re.frag_count && missing > 0; ++i) {
-      if (!re.have[i]) {
-        writer.u32(i);
-        --missing;
-      }
-    }
+    encode_nack_frame(nack.payload,
+                      NackFrame{key.second, re.assembler.missing()});
     net_.send(std::move(nack));
     arm_nack(key);  // keep probing until complete or give-up
   });
@@ -287,12 +245,10 @@ void MochaNetEndpoint::arm_nack(MsgKey key) {
 void MochaNetEndpoint::handle_nack(const Datagram& dgram,
                                    util::WireReader& reader) {
   sched_.compute(net_.profile().mn_ack_cpu_us);
-  const std::uint64_t seq = reader.u64();
-  auto it = outstanding_.find({dgram.src, seq});
+  const NackFrame nack = decode_nack_frame(reader);
+  auto it = outstanding_.find({dgram.src, nack.seq});
   if (it == outstanding_.end()) return;  // already acked/failed
-  const std::uint32_t missing = reader.u32();
-  for (std::uint32_t i = 0; i < missing; ++i) {
-    const std::uint32_t idx = reader.u32();
+  for (std::uint32_t idx : nack.missing) {
     if (idx >= it->second->fragments.size()) continue;
     Datagram copy = it->second->fragments[idx];
     net_.send(std::move(copy));
@@ -307,16 +263,14 @@ void MochaNetEndpoint::send_ack(NodeId dst, std::uint64_t seq) {
   ack.dst = dst;
   ack.src_port = kWirePort;
   ack.dst_port = kWirePort;
-  util::WireWriter writer(ack.payload);
-  writer.u8(static_cast<std::uint8_t>(FrameType::kAck));
-  writer.u64(seq);
+  encode_ack_frame(ack.payload, seq);
   net_.send(std::move(ack));
 }
 
 void MochaNetEndpoint::handle_ack(const Datagram& dgram,
                                   util::WireReader& reader) {
   sched_.compute(net_.profile().mn_ack_cpu_us);
-  const std::uint64_t seq = reader.u64();
+  const std::uint64_t seq = decode_ack_frame(reader).seq;
   auto it = outstanding_.find({dgram.src, seq});
   if (it == outstanding_.end()) return;
   it->second->acked = true;

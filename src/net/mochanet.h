@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 
+#include "net/frame.h"
 #include "net/network.h"
 #include "util/status.h"
 
@@ -82,11 +83,7 @@ class MochaNetEndpoint {
   };
 
   struct Reassembly {
-    std::uint32_t frag_count = 0;
-    std::uint32_t frags_received = 0;
-    std::vector<bool> have;
-    std::vector<util::Buffer> parts;
-    Port port = 0;
+    FragmentAssembler assembler;  // shared codec (net/frame.h)
     int nacks_sent = 0;
     bool nack_armed = false;
     sim::Time last_arrival = 0;  // quiescence detector for selective NACKs

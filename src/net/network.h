@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/profiles.h"
+#include "net/types.h"
 #include "sim/mailbox.h"
 #include "sim/scheduler.h"
 #include "trace/tracer.h"
@@ -25,11 +26,6 @@
 #include "util/rng.h"
 
 namespace mocha::net {
-
-using NodeId = std::uint32_t;
-using Port = std::uint16_t;
-
-constexpr NodeId kInvalidNode = ~NodeId{0};
 
 struct Datagram {
   NodeId src = kInvalidNode;

@@ -1,0 +1,15 @@
+// Basic network identifiers shared by every backend (simulated fabric and
+// the live UDP runtime). Deliberately free of simulator dependencies so the
+// wire-protocol layers (net/frame.h, replica/wire.h) stay transport-neutral.
+#pragma once
+
+#include <cstdint>
+
+namespace mocha::net {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace mocha::net

@@ -34,10 +34,7 @@ ReplicaLock::ReplicaLock(LockId lock_id, runtime::Mocha& mocha)
     local_.grant_port = mocha_.alloc_reply_port();
     local_.data_port = mocha_.alloc_reply_port();
     util::Buffer msg;
-    util::WireWriter writer(msg);
-    writer.u8(kRegisterLock);
-    writer.u32(id_);
-    writer.u32(site_.site());
+    RegisterLockMsg{id_, site_.site()}.encode(msg);
     site_.system().endpoint(site_.site()).send(site_.sync_site(),
                                                runtime::ports::kSync,
                                                std::move(msg));
@@ -101,17 +98,17 @@ util::Status ReplicaLock::lock_internal(sim::Duration expected_hold,
   std::uint64_t nonce = 0;
   auto send_acquire = [&](runtime::SiteId sync_site) {
     nonce = site_.next_nonce();
+    AcquireLockMsg msg;
+    msg.lock_id = id_;
+    msg.site = site_.site();
+    msg.grant_port = local_.grant_port;
+    msg.data_port = local_.data_port;
+    msg.expected_hold_us =
+        expected_hold != 0 ? expected_hold : opts.default_expected_hold;
+    msg.mode = shared ? LockWireMode::kShared : LockWireMode::kExclusive;
+    msg.nonce = nonce;
     util::Buffer request;
-    util::WireWriter writer(request);
-    writer.u8(kAcquireLock);
-    writer.u32(id_);
-    writer.u32(site_.site());
-    writer.u16(local_.grant_port);
-    writer.u16(local_.data_port);
-    writer.u64(expected_hold != 0 ? expected_hold
-                                  : opts.default_expected_hold);
-    writer.u8(shared ? 1 : 0);  // LockMode
-    writer.u64(nonce);
+    msg.encode(request);
     endpoint.send(sync_site, runtime::ports::kSync, std::move(request));
   };
   auto await_grant = [&]() -> std::optional<net::MochaNetEndpoint::Message> {
@@ -156,16 +153,11 @@ util::Status ReplicaLock::lock_internal(sim::Duration expected_hold,
   local_.last_grant_latency = system.scheduler().now() - t_request;
   local_.last_transfer_latency = 0;
   util::WireReader reader(grant->payload);
-  reader.u8();   // kGrant (validated by await_grant)
-  reader.u32();  // lock id echo
-  reader.u64();  // nonce echo (validated by await_grant)
-  const Version version = reader.u64();
-  const auto flag = static_cast<GrantFlag>(reader.u8());
-  const std::uint32_t holder_count = reader.u32();
-  local_.holders.clear();
-  for (std::uint32_t i = 0; i < holder_count; ++i) {
-    local_.holders.push_back(reader.u32());
-  }
+  reader.u8();  // kGrant (validated by await_grant)
+  const GrantMsg granted = GrantMsg::decode(reader);
+  const Version version = granted.version;
+  const GrantFlag flag = granted.flag;
+  local_.holders.assign(granted.holders.begin(), granted.holders.end());
 
   if (flag == GrantFlag::kRejected) {
     return fail(util::Status(
@@ -256,15 +248,14 @@ util::Status ReplicaLock::unlock() {
   }
 
   auto build_release = [&] {
+    ReleaseLockMsg msg;
+    msg.lock_id = id_;
+    msg.site = site_.site();
+    msg.new_version = new_version;
+    msg.up_to_date.assign(up_to_date.begin(), up_to_date.end());
+    msg.mode = shared ? LockWireMode::kShared : LockWireMode::kExclusive;
     util::Buffer release;
-    util::WireWriter writer(release);
-    writer.u8(kReleaseLock);
-    writer.u32(id_);
-    writer.u32(site_.site());
-    writer.u64(new_version);
-    writer.u32(static_cast<std::uint32_t>(up_to_date.size()));
-    for (runtime::SiteId s : up_to_date) writer.u32(s);
-    writer.u8(shared ? 1 : 0);  // LockMode
+    msg.encode(release);
     return release;
   };
   if (opts.enable_sync_recovery) {

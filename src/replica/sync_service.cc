@@ -7,6 +7,10 @@
 
 namespace mocha::replica {
 
+// The transport-neutral protocol constant and the simulated runtime's port
+// table must agree — both backends listen on this port.
+static_assert(kSyncPort == runtime::ports::kSync);
+
 SyncService::SyncService(ReplicaSystem& system, runtime::SiteId site)
     : system_(system), site_(site) {
   restore_from_log();
@@ -85,11 +89,10 @@ void SyncService::handle(net::MochaNetEndpoint::Message msg) {
       handle_release(reader);
       break;
     case kRegisterLock: {
-      const LockId id = reader.u32();
-      const runtime::SiteId site = reader.u32();
-      LockState& lock = locks_[id];
-      lock.id = id;
-      lock.holders.insert(site);
+      const RegisterLockMsg reg = RegisterLockMsg::decode(reader);
+      LockState& lock = locks_[reg.lock_id];
+      lock.id = reg.lock_id;
+      lock.holders.insert(reg.site);
       log_lock(lock);
       break;
     }
@@ -194,14 +197,15 @@ void SyncService::handle_refresh_cached(util::WireReader& reader) {
 }
 
 void SyncService::handle_acquire(util::WireReader& reader) {
+  const AcquireLockMsg msg = AcquireLockMsg::decode(reader);
   Request req;
-  req.lock_id = reader.u32();
-  req.site = reader.u32();
-  req.grant_port = reader.u16();
-  req.data_port = reader.u16();
-  req.expected_hold = reader.u64();
-  req.mode = static_cast<LockMode>(reader.u8());
-  req.nonce = reader.u64();
+  req.lock_id = msg.lock_id;
+  req.site = msg.site;
+  req.grant_port = msg.grant_port;
+  req.data_port = msg.data_port;
+  req.expected_hold = msg.expected_hold_us;
+  req.mode = static_cast<LockMode>(msg.mode);
+  req.nonce = msg.nonce;
 
   if (auto* tracer = system_.mocha().network().tracer()) {
     tracer->record(trace::EventKind::kLockRequested,
@@ -278,15 +282,14 @@ void SyncService::activate(LockState& lock, Request req) {
 void SyncService::send_grant(const Request& req, Version version,
                              GrantFlag flag,
                              const std::vector<runtime::SiteId>& holders) {
+  GrantMsg grant;
+  grant.lock_id = req.lock_id;
+  grant.nonce = req.nonce;
+  grant.version = version;
+  grant.flag = flag;
+  grant.holders.assign(holders.begin(), holders.end());
   util::Buffer msg;
-  util::WireWriter writer(msg);
-  writer.u8(kGrant);
-  writer.u32(req.lock_id);
-  writer.u64(req.nonce);
-  writer.u64(version);
-  writer.u8(static_cast<std::uint8_t>(flag));
-  writer.u32(static_cast<std::uint32_t>(holders.size()));
-  for (runtime::SiteId s : holders) writer.u32(s);
+  grant.encode(msg);
   endpoint_->send(req.site, req.grant_port, std::move(msg));
 }
 
@@ -397,13 +400,13 @@ void SyncService::poll_and_redirect(LockState& lock, const Request& req) {
 }
 
 void SyncService::handle_release(util::WireReader& reader) {
-  const LockId id = reader.u32();
-  const runtime::SiteId site = reader.u32();
-  const Version new_version = reader.u64();
-  const std::uint32_t n = reader.u32();
-  std::set<runtime::SiteId> up_to_date;
-  for (std::uint32_t i = 0; i < n; ++i) up_to_date.insert(reader.u32());
-  const auto mode = static_cast<LockMode>(reader.u8());
+  const ReleaseLockMsg msg = ReleaseLockMsg::decode(reader);
+  const LockId id = msg.lock_id;
+  const runtime::SiteId site = msg.site;
+  const Version new_version = msg.new_version;
+  std::set<runtime::SiteId> up_to_date(msg.up_to_date.begin(),
+                                       msg.up_to_date.end());
+  const auto mode = static_cast<LockMode>(msg.mode);
 
   auto it = locks_.find(id);
   if (it == locks_.end()) return;

@@ -8,13 +8,20 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
-#include "net/network.h"
+#include "net/types.h"
+#include "util/buffer.h"
 
 namespace mocha::replica {
 
 using LockId = std::uint32_t;
 using Version = std::uint64_t;
+
+// Well-known logical port of the synchronization thread (mirrored as
+// runtime::ports::kSync for the simulated runtime; the live lock server
+// listens here too).
+constexpr net::Port kSyncPort = 30;
 
 // Bulk replica updates use a dedicated port so BulkTransport control frames
 // never interleave with daemon control messages.
@@ -56,6 +63,133 @@ enum class GrantFlag : std::uint8_t {
   kVersionOk = 0,      // requester already has the newest version
   kNeedNewVersion = 1, // a replica transfer is on its way
   kRejected = 2,       // requester was blacklisted after a broken lock
+};
+
+enum class LockWireMode : std::uint8_t { kExclusive = 0, kShared = 1 };
+
+// --- Typed codecs for the lock-protocol messages ---
+//
+// Both runtimes — the simulated SyncService/ReplicaLock pair and the live
+// LockServer/LockClient pair — speak exactly these bytes; there is one
+// encoder/decoder per message, here. encode() writes the message including
+// its type byte; decode() assumes the dispatcher consumed the type byte.
+// Decoders throw util::CodecError on truncated input.
+
+// kAcquireLock: thread -> synchronization thread.
+struct AcquireLockMsg {
+  LockId lock_id = 0;
+  std::uint32_t site = 0;
+  net::Port grant_port = 0;
+  net::Port data_port = 0;
+  std::uint64_t expected_hold_us = 0;
+  LockWireMode mode = LockWireMode::kExclusive;
+  // Echoed in the GRANT: stale grants (an earlier timed-out acquire, a
+  // previous sync incarnation) are discarded by nonce mismatch.
+  std::uint64_t nonce = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kAcquireLock);
+    writer.u32(lock_id);
+    writer.u32(site);
+    writer.u16(grant_port);
+    writer.u16(data_port);
+    writer.u64(expected_hold_us);
+    writer.u8(static_cast<std::uint8_t>(mode));
+    writer.u64(nonce);
+  }
+  static AcquireLockMsg decode(util::WireReader& reader) {
+    AcquireLockMsg msg;
+    msg.lock_id = reader.u32();
+    msg.site = reader.u32();
+    msg.grant_port = reader.u16();
+    msg.data_port = reader.u16();
+    msg.expected_hold_us = reader.u64();
+    msg.mode = static_cast<LockWireMode>(reader.u8());
+    msg.nonce = reader.u64();
+    return msg;
+  }
+};
+
+// kReleaseLock: thread -> synchronization thread.
+struct ReleaseLockMsg {
+  LockId lock_id = 0;
+  std::uint32_t site = 0;
+  Version new_version = 0;
+  std::vector<std::uint32_t> up_to_date;  // sites holding new_version
+  LockWireMode mode = LockWireMode::kExclusive;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kReleaseLock);
+    writer.u32(lock_id);
+    writer.u32(site);
+    writer.u64(new_version);
+    writer.u32(static_cast<std::uint32_t>(up_to_date.size()));
+    for (std::uint32_t s : up_to_date) writer.u32(s);
+    writer.u8(static_cast<std::uint8_t>(mode));
+  }
+  static ReleaseLockMsg decode(util::WireReader& reader) {
+    ReleaseLockMsg msg;
+    msg.lock_id = reader.u32();
+    msg.site = reader.u32();
+    msg.new_version = reader.u64();
+    const std::uint32_t n = reader.u32();
+    msg.up_to_date.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) msg.up_to_date.push_back(reader.u32());
+    msg.mode = static_cast<LockWireMode>(reader.u8());
+    return msg;
+  }
+};
+
+// kRegisterLock: thread -> synchronization thread (become a holder).
+struct RegisterLockMsg {
+  LockId lock_id = 0;
+  std::uint32_t site = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kRegisterLock);
+    writer.u32(lock_id);
+    writer.u32(site);
+  }
+  static RegisterLockMsg decode(util::WireReader& reader) {
+    RegisterLockMsg msg;
+    msg.lock_id = reader.u32();
+    msg.site = reader.u32();
+    return msg;
+  }
+};
+
+// kGrant: synchronization thread -> requesting thread (grant port).
+struct GrantMsg {
+  LockId lock_id = 0;
+  std::uint64_t nonce = 0;
+  Version version = 0;
+  GrantFlag flag = GrantFlag::kVersionOk;
+  std::vector<std::uint32_t> holders;  // registered replica-holder sites
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kGrant);
+    writer.u32(lock_id);
+    writer.u64(nonce);
+    writer.u64(version);
+    writer.u8(static_cast<std::uint8_t>(flag));
+    writer.u32(static_cast<std::uint32_t>(holders.size()));
+    for (std::uint32_t s : holders) writer.u32(s);
+  }
+  static GrantMsg decode(util::WireReader& reader) {
+    GrantMsg msg;
+    msg.lock_id = reader.u32();
+    msg.nonce = reader.u64();
+    msg.version = reader.u64();
+    msg.flag = static_cast<GrantFlag>(reader.u8());
+    const std::uint32_t n = reader.u32();
+    msg.holders.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) msg.holders.push_back(reader.u32());
+    return msg;
+  }
 };
 
 }  // namespace mocha::replica

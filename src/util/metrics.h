@@ -1,0 +1,55 @@
+// Machine-readable benchmark output.
+//
+// Every benchmark (simulated benches in bench/, the live workload driver in
+// tools/mocha_live) emits a `BENCH_<name>.json` file next to its human
+// output so the perf trajectory can be tracked across PRs by diffing JSON
+// instead of scraping stdout:
+//
+//   { "name": "<bench name>",
+//     "metrics": [ { "name": "...", "value": <number>, "unit": "..." } ] }
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mocha::util {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+// "table1_lock_acquire/lan" -> "table1_lock_acquire_lan"
+inline std::string sanitize_bench_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+// Writes BENCH_<sanitized name>.json into `dir` (default: the working
+// directory). Returns false when the file cannot be written; benchmarks
+// treat that as non-fatal.
+inline bool write_bench_json(const std::string& name,
+                             const std::vector<Metric>& metrics,
+                             const std::string& dir = ".") {
+  const std::string path = dir + "/BENCH_" + sanitize_bench_name(name) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"metrics\": [\n", name.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                 metrics[i].name.c_str(), metrics[i].value,
+                 metrics[i].unit.c_str(), i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace mocha::util

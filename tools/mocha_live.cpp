@@ -1,0 +1,309 @@
+// mocha_live — run the MochaNet lock protocol between real OS processes.
+//
+// Server (the synchronization thread, paper §3):
+//   mocha_live --server --port 7000 [--stats-file stats.json]
+//              [--ready-file ready] [--lease-grace-us N]
+//   Serves until SIGTERM/SIGINT, then writes stats and exits 0.
+//
+// Client (workload driver: N acquire/release rounds on one lock):
+//   mocha_live --client --site 2 --server-addr 127.0.0.1:7000 --rounds 1000
+//              [--port 0] [--lock 1] [--hold-us 0] [--shared]
+//              [--counter-file F] [--bench-json-dir D] [--quiet]
+//   Reports p50/p99 lock-acquire latency and round throughput; with
+//   --counter-file it performs a non-atomic read-increment-write on the file
+//   while holding the lock, so lost updates expose any mutual-exclusion
+//   violation. With --bench-json-dir it writes BENCH_live_lock_acquire.json.
+//   Exits 0 only if every round succeeded.
+//
+// Two machines: start the server on one host, point --server-addr at it from
+// the others, give every client a distinct --site id ≥ 2.
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/clock.h"
+#include "live/endpoint.h"
+#include "live/lock_client.h"
+#include "live/lock_server.h"
+#include "replica/wire.h"
+#include "util/metrics.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+// The server is site/node 1 by convention (the home site).
+constexpr mocha::net::NodeId kServerNode = 1;
+
+struct Args {
+  bool server = false;
+  bool client = false;
+  int port = 0;
+  std::string server_addr;  // host:port
+  std::uint32_t site = 0;
+  std::uint64_t rounds = 1000;
+  std::uint32_t lock = 1;
+  std::int64_t hold_us = 0;
+  bool shared = false;
+  std::string counter_file;
+  std::string bench_json_dir;
+  std::string stats_file;
+  std::string ready_file;
+  std::int64_t lease_grace_us = 300'000;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --server --port P [--stats-file F] [--ready-file F]\n"
+               "       %s --client --site N --server-addr HOST:PORT "
+               "--rounds N [--port P] [--lock ID] [--hold-us N] [--shared]\n"
+               "          [--counter-file F] [--bench-json-dir D] [--quiet]\n",
+               argv0, argv0);
+  return 64;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--server") {
+      args.server = true;
+    } else if (arg == "--client") {
+      args.client = true;
+    } else if (arg == "--shared") {
+      args.shared = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (!v) return false;
+      args.port = std::atoi(v);
+    } else if (arg == "--server-addr") {
+      const char* v = value();
+      if (!v) return false;
+      args.server_addr = v;
+    } else if (arg == "--site") {
+      const char* v = value();
+      if (!v) return false;
+      args.site = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--rounds") {
+      const char* v = value();
+      if (!v) return false;
+      args.rounds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--lock") {
+      const char* v = value();
+      if (!v) return false;
+      args.lock = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--hold-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.hold_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--lease-grace-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.lease_grace_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--counter-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.counter_file = v;
+    } else if (arg == "--bench-json-dir") {
+      const char* v = value();
+      if (!v) return false;
+      args.bench_json_dir = v;
+    } else if (arg == "--stats-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.stats_file = v;
+    } else if (arg == "--ready-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.ready_file = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_server(const Args& args) {
+  mocha::live::Endpoint endpoint(kServerNode,
+                                 static_cast<std::uint16_t>(args.port));
+  mocha::live::LockServerOptions opts;
+  opts.lease_grace_us = args.lease_grace_us;
+  mocha::live::LockServer server(endpoint, opts);
+  server.start();
+  if (!args.ready_file.empty()) {
+    std::ofstream(args.ready_file) << endpoint.udp_port() << "\n";
+  }
+  if (!args.quiet) {
+    std::printf("mocha_live server: node %u on udp port %u\n", kServerNode,
+                endpoint.udp_port());
+    std::fflush(stdout);
+  }
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const auto stats = server.stats();
+  if (!args.stats_file.empty()) {
+    std::ofstream out(args.stats_file);
+    out << "{\n"
+        << "  \"grants\": " << stats.grants << ",\n"
+        << "  \"releases\": " << stats.releases << ",\n"
+        << "  \"locks_broken\": " << stats.locks_broken << ",\n"
+        << "  \"registrations\": " << stats.registrations << "\n"
+        << "}\n";
+  }
+  if (!args.quiet) {
+    std::printf(
+        "mocha_live server: %llu grants, %llu releases, %llu broken locks\n",
+        static_cast<unsigned long long>(stats.grants),
+        static_cast<unsigned long long>(stats.releases),
+        static_cast<unsigned long long>(stats.locks_broken));
+  }
+  return 0;
+}
+
+// Non-atomic read-increment-write guarded only by the distributed lock: a
+// mutual-exclusion violation shows up as a lost update (final counter value
+// below the total number of rounds).
+bool bump_counter(const std::string& path) {
+  long long value = 0;
+  {
+    std::ifstream in(path);
+    if (in) in >> value;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << value + 1 << "\n";
+  return static_cast<bool>(out);
+}
+
+int run_client(const Args& args) {
+  const auto colon = args.server_addr.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--server-addr must be HOST:PORT\n");
+    return 64;
+  }
+  const std::string host = args.server_addr.substr(0, colon);
+  const auto server_port = static_cast<std::uint16_t>(
+      std::strtoul(args.server_addr.c_str() + colon + 1, nullptr, 10));
+
+  mocha::live::Endpoint endpoint(args.site,
+                                 static_cast<std::uint16_t>(args.port));
+  endpoint.add_peer(kServerNode, host, server_port);
+  mocha::live::LockClient client(endpoint, kServerNode);
+  client.register_lock(args.lock);
+
+  const auto mode = args.shared ? mocha::replica::LockWireMode::kShared
+                                : mocha::replica::LockWireMode::kExclusive;
+  std::vector<std::int64_t> latencies_us;
+  latencies_us.reserve(args.rounds);
+  const std::int64_t t_start = mocha::live::Clock::monotonic().now_us();
+
+  for (std::uint64_t round = 0; round < args.rounds; ++round) {
+    if (g_stop) {
+      std::fprintf(stderr, "client %u: interrupted at round %llu\n", args.site,
+                   static_cast<unsigned long long>(round));
+      return 1;
+    }
+    mocha::util::Status acquired = client.acquire(args.lock, mode);
+    if (!acquired.is_ok()) {
+      std::fprintf(stderr, "client %u: acquire failed at round %llu: %s\n",
+                   args.site, static_cast<unsigned long long>(round),
+                   acquired.to_string().c_str());
+      return 1;
+    }
+    latencies_us.push_back(client.last_grant_latency_us());
+
+    if (!args.counter_file.empty() && !bump_counter(args.counter_file)) {
+      std::fprintf(stderr, "client %u: cannot update counter file %s\n",
+                   args.site, args.counter_file.c_str());
+      (void)client.release(args.lock);
+      return 1;
+    }
+    if (args.hold_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(args.hold_us));
+    }
+    mocha::util::Status released = client.release(args.lock);
+    if (!released.is_ok()) {
+      std::fprintf(stderr, "client %u: release failed at round %llu: %s\n",
+                   args.site, static_cast<unsigned long long>(round),
+                   released.to_string().c_str());
+      return 1;
+    }
+  }
+  const std::int64_t elapsed_us =
+      mocha::live::Clock::monotonic().now_us() - t_start;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto percentile = [&](double p) -> double {
+    if (latencies_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return static_cast<double>(latencies_us[idx]);
+  };
+  double sum = 0;
+  for (std::int64_t v : latencies_us) sum += static_cast<double>(v);
+  const double mean = latencies_us.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(latencies_us.size());
+  const double throughput =
+      elapsed_us > 0 ? static_cast<double>(args.rounds) * 1e6 /
+                           static_cast<double>(elapsed_us)
+                     : 0.0;
+
+  if (!args.quiet) {
+    std::printf(
+        "client %u: %llu rounds in %.1f ms | acquire p50 %.0f us  p99 %.0f us"
+        "  mean %.0f us | %.0f rounds/s | %llu retransmissions\n",
+        args.site, static_cast<unsigned long long>(args.rounds),
+        static_cast<double>(elapsed_us) / 1000.0, percentile(0.50),
+        percentile(0.99), mean, throughput,
+        static_cast<unsigned long long>(endpoint.retransmissions()));
+  }
+  if (!args.bench_json_dir.empty()) {
+    mocha::util::write_bench_json(
+        "live_lock_acquire",
+        {{"p50_latency", percentile(0.50), "us"},
+         {"p99_latency", percentile(0.99), "us"},
+         {"mean_latency", mean, "us"},
+         {"throughput", throughput, "rounds/s"}},
+        args.bench_json_dir);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args) || args.server == args.client) {
+    return usage(argv[0]);
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  try {
+    if (args.server) return run_server(args);
+    if (args.site < 2) {
+      std::fprintf(stderr, "--client requires --site >= 2 (1 is the server)\n");
+      return 64;
+    }
+    return run_client(args);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "mocha_live: %s\n", err.what());
+    return 2;
+  }
+}
