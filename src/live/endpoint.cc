@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -34,11 +35,16 @@ bool same_addr(const sockaddr_in& a, const sockaddr_in& b) {
 
 Endpoint::Endpoint(net::NodeId node, std::uint16_t udp_port,
                    EndpointOptions opts, Clock* clock)
-    : node_(node), opts_(opts), clock_(clock ? clock : &Clock::monotonic()) {
-  if (opts_.mtu <= kLiveEnvelopeBytes + net::kFragHeaderBytes) {
+    : node_(node),
+      opts_(opts),
+      clock_(clock ? clock : &Clock::monotonic()),
+      netem_rng_(opts.netem_seed) {
+  if (opts_.mtu <= kLiveEnvelopeBytes + net::kDataAckBaseHeaderBytes +
+                       net::kPiggybackAckBytes) {
     throw std::invalid_argument("live::Endpoint: mtu too small for headers");
   }
   max_chunk_ = opts_.mtu - kLiveEnvelopeBytes - net::kFragHeaderBytes;
+  gap_skip_window_us_ = retry_schedule_us() + 2 * opts_.rto_us;
 
   sock_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (sock_ < 0) {
@@ -92,6 +98,25 @@ Endpoint::~Endpoint() {
   ::close(wake_pipe_[1]);
 }
 
+std::int64_t Endpoint::retry_schedule_us() const {
+  const int cap = opts_.adaptive_rto ? opts_.rto_backoff_cap : 0;
+  const std::int64_t max_rto = std::max(opts_.max_rto_us, opts_.rto_us);
+  return RttEstimator::retry_schedule_us(opts_.rto_us, opts_.max_retries, cap,
+                                         max_rto);
+}
+
+Endpoint::PeerState& Endpoint::peer_state(net::NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    PeerState state;
+    state.rtt = RttEstimator(RttEstimator::Params{
+        opts_.rto_us, opts_.min_rto_us, opts_.max_rto_us,
+        opts_.rto_backoff_cap});
+    it = peers_.emplace(peer, std::move(state)).first;
+  }
+  return it->second;
+}
+
 void Endpoint::add_peer(net::NodeId peer, const std::string& host,
                         std::uint16_t port) {
   sockaddr_in addr{};
@@ -113,7 +138,7 @@ void Endpoint::add_peer(net::NodeId peer, const std::string& host,
     ::freeaddrinfo(result);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  peers_[peer] = addr;
+  peer_state(peer).addr = addr;
 }
 
 bool Endpoint::knows_peer(net::NodeId peer) const {
@@ -121,8 +146,43 @@ bool Endpoint::knows_peer(net::NodeId peer) const {
   return peers_.contains(peer);
 }
 
+std::int64_t Endpoint::peer_rto_us(net::NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0;
+  return opts_.adaptive_rto ? it->second.rtt.rto_us() : opts_.rto_us;
+}
+
+std::int64_t Endpoint::peer_srtt_us(net::NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.rtt.srtt_us();
+}
+
 void Endpoint::send(net::NodeId dst, net::Port port, util::Buffer payload) {
   (void)send_sync(dst, port, std::move(payload), /*timeout_us=*/0);
+}
+
+std::vector<std::uint64_t> Endpoint::take_piggyback_acks(
+    PeerState& peer, std::size_t chunk_len) {
+  if (peer.pending_acks.empty()) return {};
+  const std::size_t used =
+      kLiveEnvelopeBytes + net::kDataAckBaseHeaderBytes + chunk_len;
+  if (used >= opts_.mtu) return {};  // full-size chunk: no room
+  const std::size_t room = (opts_.mtu - used) / net::kPiggybackAckBytes;
+  const std::size_t n =
+      std::min({peer.pending_acks.size(), room, opts_.max_piggyback_acks,
+                net::kMaxPiggybackAcks});
+  if (n == 0) return {};
+  std::vector<std::uint64_t> acks(peer.pending_acks.begin(),
+                                  peer.pending_acks.begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+  peer.pending_acks.erase(peer.pending_acks.begin(),
+                          peer.pending_acks.begin() +
+                              static_cast<std::ptrdiff_t>(n));
+  if (peer.pending_acks.empty()) peer.ack_deadline_us = 0;
+  acks_piggybacked_ += n;
+  return acks;
 }
 
 util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
@@ -136,16 +196,36 @@ util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
       throw std::logic_error("live::Endpoint: unknown peer node " +
                              std::to_string(dst));
     }
+    PeerState& peer = peer_it->second;
     auto [seq_it, unused] = next_seq_out_.try_emplace(dst, 1);
     const std::uint64_t seq = seq_it->second++;
+    const std::int64_t now = clock_->now_us();
 
     // Shared frame codec (net/frame.h), then the live source-node envelope.
+    // Pending transport acks for this peer piggyback on the first fragment
+    // when they fit (DATA+ACK frame) instead of costing their own datagram.
     std::vector<util::Buffer> frames =
         net::fragment_message(seq, port, payload, max_chunk_);
+    const std::size_t first_chunk = std::min(max_chunk_, payload.size());
+    const std::vector<std::uint64_t> acks =
+        take_piggyback_acks(peer, first_chunk);
+    if (!acks.empty()) {
+      util::Buffer first;
+      first.reserve(net::kDataAckBaseHeaderBytes +
+                    acks.size() * net::kPiggybackAckBytes + first_chunk);
+      net::encode_data_ack_frame(
+          first, seq, /*frag_idx=*/0,
+          static_cast<std::uint32_t>(frames.size()), port, acks,
+          std::span<const std::uint8_t>(payload).subspan(0, first_chunk));
+      frames[0] = std::move(first);
+    }
+
     out = std::make_shared<Outstanding>();
-    out->addr = peer_it->second;
+    out->addr = peer.addr;
     out->retries_left = opts_.max_retries;
-    out->next_resend_us = clock_->now_us() + opts_.rto_us;
+    out->sent_at_us = now;
+    out->next_resend_us =
+        now + (opts_.adaptive_rto ? peer.rtt.rto_us() : opts_.rto_us);
     out->datagrams.reserve(frames.size());
     for (const util::Buffer& frame : frames) {
       util::Buffer datagram;
@@ -157,11 +237,12 @@ util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
     }
     outstanding_.emplace(MsgKey{dst, seq}, out);
     for (const util::Buffer& datagram : out->datagrams) {
-      transmit(out->addr, datagram);
+      queue_tx(out->addr, datagram);
       ++fragments_sent_;
     }
     ++messages_sent_;
   }
+  flush_tx();
   wake_io_thread();  // the io loop recomputes its poll deadline
 
   if (timeout_us <= 0) return util::Status::ok();  // asynchronous send
@@ -214,10 +295,45 @@ Endpoint::PortQueue& Endpoint::port_queue(net::Port port) {
   return *it->second;
 }
 
-void Endpoint::transmit(const sockaddr_in& addr, const util::Buffer& datagram) {
-  // Failures (ENOBUFS, transient ICMP errors) are left to retransmission.
-  (void)::sendto(sock_, datagram.data(), datagram.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+void Endpoint::queue_tx(const sockaddr_in& addr, util::Buffer datagram) {
+  tx_queue_.push_back(TxItem{addr, std::move(datagram)});
+}
+
+void Endpoint::flush_tx() {
+  std::vector<TxItem> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tx_queue_.empty()) return;
+    batch.swap(tx_queue_);
+  }
+#ifdef __linux__
+  // One sendmmsg(2) per group of up to kBatch datagrams: fragments of a
+  // message, coalesced acks, and retransmits all leave in single syscalls.
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t base = 0; base < batch.size(); base += kBatch) {
+    const std::size_t n = std::min(kBatch, batch.size() - base);
+    mmsghdr msgs[kBatch];
+    iovec iovs[kBatch];
+    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < n; ++i) {
+      TxItem& item = batch[base + i];
+      iovs[i].iov_base = item.datagram.data();
+      iovs[i].iov_len = item.datagram.size();
+      msgs[i].msg_hdr.msg_name = &item.addr;
+      msgs[i].msg_hdr.msg_namelen = sizeof(item.addr);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    // Failures (ENOBUFS, transient ICMP errors) are left to retransmission.
+    (void)::sendmmsg(sock_, msgs, static_cast<unsigned int>(n), 0);
+  }
+#else
+  for (const TxItem& item : batch) {
+    (void)::sendto(sock_, item.datagram.data(), item.datagram.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&item.addr),
+                   sizeof(item.addr));
+  }
+#endif
 }
 
 void Endpoint::wake_io_thread() {
@@ -258,7 +374,10 @@ void Endpoint::io_loop() {
         handle_datagram(buf.data(), static_cast<std::size_t>(n), from);
       }
     }
-    fire_timers(clock_->now_us());
+    const std::int64_t now = clock_->now_us();
+    release_netem(now);
+    fire_timers(now);
+    flush_tx();
   }
 }
 
@@ -271,6 +390,20 @@ std::int64_t Endpoint::next_deadline_us() {
   }
   for (const auto& [src, gap] : gap_skips_) {
     if (gap.deadline_us < deadline) deadline = gap.deadline_us;
+  }
+  for (const auto& [key, re] : reassembly_) {
+    if (re.nack_deadline_us != 0 && re.nack_deadline_us < deadline) {
+      deadline = re.nack_deadline_us;
+    }
+  }
+  for (const auto& [peer, state] : peers_) {
+    if (state.ack_deadline_us != 0 && state.ack_deadline_us < deadline) {
+      deadline = state.ack_deadline_us;
+    }
+  }
+  if (!netem_queue_.empty() &&
+      netem_queue_.front().release_us < deadline) {
+    deadline = netem_queue_.front().release_us;
   }
   return deadline;
 }
@@ -289,9 +422,9 @@ void Endpoint::update_gap_skip(net::NodeId src, std::int64_t now_us) {
   if (it != gap_skips_.end() && it->second.expected == next_seq_in_[src]) {
     return;  // already armed and the stream has not progressed: keep ticking
   }
-  const std::int64_t window =
-      opts_.rto_us * static_cast<std::int64_t>(opts_.max_retries + 2);
-  gap_skips_[src] = GapSkip{now_us + window, next_seq_in_[src]};
+  // The stagnation window covers the sender's full backed-off retransmit
+  // schedule (it keeps resending that long before it gives up), plus slack.
+  gap_skips_[src] = GapSkip{now_us + gap_skip_window_us_, next_seq_in_[src]};
 }
 
 void Endpoint::fire_timers(std::int64_t now_us) {
@@ -316,14 +449,54 @@ void Endpoint::fire_timers(std::int64_t now_us) {
       it = outstanding_.erase(it);
       continue;
     }
+    // Whole-message resend with per-peer exponential backoff (the backoff
+    // resets on the next accepted RTT sample for that peer).
+    PeerState& peer = peer_state(it->first.first);
+    out->retransmitted = true;  // Karn: this message can no longer be sampled
+    if (opts_.adaptive_rto) peer.rtt.backoff();
+    out->next_resend_us =
+        now_us + (opts_.adaptive_rto ? peer.rtt.rto_us() : opts_.rto_us);
     for (const util::Buffer& datagram : out->datagrams) {
-      transmit(out->addr, datagram);
+      queue_tx(out->addr, datagram);
       ++retransmissions_;
     }
-    out->next_resend_us = now_us + opts_.rto_us;
     ++it;
   }
   if (notified) ack_cv_.notify_all();
+
+  // Selective NACKs: a partially reassembled message whose fragment stream
+  // has been quiet for nack_delay_us asks the sender for just the missing
+  // fragments. Quiet matters: fragments still flowing means the sender is
+  // mid-transmission, not that loss struck (same rule as the sim endpoint).
+  for (auto& [key, re] : reassembly_) {
+    if (re.nack_deadline_us == 0 || re.nack_deadline_us > now_us) continue;
+    if (now_us - re.last_arrival_us < opts_.nack_delay_us) {
+      re.nack_deadline_us = re.last_arrival_us + opts_.nack_delay_us;
+      continue;
+    }
+    if (re.nacks_sent >= opts_.max_retries) {
+      re.nack_deadline_us = 0;  // give up probing; sender RTO still covers it
+      continue;
+    }
+    auto peer_it = peers_.find(key.first);
+    if (peer_it == peers_.end()) {
+      re.nack_deadline_us = 0;
+      continue;
+    }
+    util::Buffer datagram;
+    util::WireWriter writer(datagram);
+    writer.u32(node_);
+    util::Buffer frame;
+    net::encode_nack_frame(
+        frame, net::NackFrame{key.second, re.assembler.missing()});
+    writer.raw(frame);
+    queue_tx(peer_it->second.addr, std::move(datagram));
+    ++re.nacks_sent;
+    ++nacks_sent_;
+    re.nack_deadline_us = now_us + opts_.nack_delay_us;
+  }
+
+  flush_due_acks(now_us);
 
   // Gap skip: a sender gave up on a message and newer ones are complete —
   // once the stream has stagnated a full retry schedule, skip the hole.
@@ -346,13 +519,109 @@ void Endpoint::fire_timers(std::int64_t now_us) {
                         << next_seq_in_[src] << ".."
                         << stash_it->first.second - 1 << " from node " << src;
     next_seq_in_[src] = stash_it->first.second;
+    // Drop reassembly state for the skipped hole — those fragments will
+    // never complete (their sender gave up).
+    for (auto re_it = reassembly_.lower_bound({src, 0});
+         re_it != reassembly_.end() && re_it->first.first == src &&
+         re_it->first.second < next_seq_in_[src];) {
+      re_it = reassembly_.erase(re_it);
+    }
     deliver_in_order(src);
     update_gap_skip(src, now_us);
   }
 }
 
+void Endpoint::enqueue_ack(net::NodeId dst, std::uint64_t seq,
+                           std::int64_t now_us) {
+  PeerState& peer = peer_state(dst);
+  // Delaying an ack only pays when the path RTT dwarfs the delay: on a
+  // µs-RTT LAN a 500µs hold eats most of the sender's RTO margin and buys
+  // no piggyback worth having, so ack immediately once the measured RTT
+  // proves the path is fast. No sample yet (or a genuinely slow path) keeps
+  // the delay, so WAN receivers that never send data still batch.
+  const bool path_is_fast =
+      peer.rtt.has_sample() && peer.rtt.srtt_us() <= 2 * opts_.ack_delay_us;
+  if (opts_.ack_delay_us <= 0 || path_is_fast) {
+    util::Buffer datagram;
+    util::WireWriter writer(datagram);
+    writer.u32(node_);
+    util::Buffer frame;
+    net::encode_ack_frame(frame, seq);
+    writer.raw(frame);
+    queue_tx(peer.addr, std::move(datagram));
+    return;
+  }
+  peer.pending_acks.push_back(seq);
+  if (peer.ack_deadline_us == 0) {
+    peer.ack_deadline_us = now_us + opts_.ack_delay_us;
+  }
+}
+
+void Endpoint::flush_due_acks(std::int64_t now_us) {
+  for (auto& [dst, peer] : peers_) {
+    if (peer.ack_deadline_us == 0 || peer.ack_deadline_us > now_us) continue;
+    // No data frame came along in time: flush standalone ACK frames (still
+    // batched into one sendmmsg with everything else queued this tick).
+    for (std::uint64_t seq : peer.pending_acks) {
+      util::Buffer datagram;
+      util::WireWriter writer(datagram);
+      writer.u32(node_);
+      util::Buffer frame;
+      net::encode_ack_frame(frame, seq);
+      writer.raw(frame);
+      queue_tx(peer.addr, std::move(datagram));
+    }
+    peer.pending_acks.clear();
+    peer.ack_deadline_us = 0;
+  }
+}
+
 void Endpoint::handle_datagram(const std::uint8_t* data, std::size_t len,
                                const sockaddr_in& from) {
+  if (opts_.recv_drop_hook &&
+      opts_.recv_drop_hook(std::span<const std::uint8_t>(data, len))) {
+    ++netem_dropped_;
+    return;
+  }
+  const bool netem = opts_.recv_loss_pct > 0 || opts_.recv_delay_us > 0 ||
+                     opts_.recv_bw_kbps > 0;
+  if (!netem) {
+    process_datagram(data, len, from);
+    return;
+  }
+  if (opts_.recv_loss_pct > 0 &&
+      netem_rng_.chance(opts_.recv_loss_pct / 100.0)) {
+    ++netem_dropped_;
+    return;
+  }
+  // Emulated link: serialization at recv_bw_kbps (datagrams queue behind
+  // each other, so overload builds real queueing delay), then propagation.
+  const std::int64_t now = clock_->now_us();
+  std::int64_t serialize_us = 0;
+  if (opts_.recv_bw_kbps > 0) {
+    serialize_us = static_cast<std::int64_t>(
+        static_cast<double>(len) * 8'000.0 / opts_.recv_bw_kbps);
+  }
+  const std::int64_t start = std::max(now, netem_link_free_us_);
+  netem_link_free_us_ = start + serialize_us;
+  DelayedDatagram delayed;
+  delayed.release_us = netem_link_free_us_ + opts_.recv_delay_us;
+  delayed.data.assign(data, data + len);
+  delayed.from = from;
+  netem_queue_.push_back(std::move(delayed));
+}
+
+void Endpoint::release_netem(std::int64_t now_us) {
+  while (!netem_queue_.empty() &&
+         netem_queue_.front().release_us <= now_us) {
+    DelayedDatagram delayed = std::move(netem_queue_.front());
+    netem_queue_.pop_front();
+    process_datagram(delayed.data.data(), delayed.data.size(), delayed.from);
+  }
+}
+
+void Endpoint::process_datagram(const std::uint8_t* data, std::size_t len,
+                                const sockaddr_in& from) {
   try {
     util::WireReader reader(std::span<const std::uint8_t>(data, len));
     const net::NodeId src = reader.u32();  // live envelope
@@ -360,35 +629,50 @@ void Endpoint::handle_datagram(const std::uint8_t* data, std::size_t len,
       // Learn (or refresh) the sender's address — this is how the server
       // side discovers clients it never configured.
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = peers_.find(src);
-      if (it == peers_.end() || !same_addr(it->second, from)) {
-        peers_[src] = from;
-      }
+      PeerState& peer = peer_state(src);
+      if (!same_addr(peer.addr, from)) peer.addr = from;
     }
     switch (net::decode_frame_type(reader)) {
       case net::FrameType::kData:
         handle_data(src, net::decode_data_frame(reader));
         break;
+      case net::FrameType::kDataAck: {
+        const net::DataFrame frame = net::decode_data_ack_frame(reader);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          const std::int64_t now = clock_->now_us();
+          for (std::uint64_t acked : frame.acks) {
+            handle_ack_seq(src, acked, now);
+          }
+        }
+        handle_data(src, frame);
+        break;
+      }
       case net::FrameType::kAck: {
         const std::uint64_t seq = net::decode_ack_frame(reader).seq;
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = outstanding_.find({src, seq});
-        if (it == outstanding_.end()) break;
-        it->second->acked = true;
-        outstanding_.erase(it);
-        ack_cv_.notify_all();
+        handle_ack_seq(src, seq, clock_->now_us());
         break;
       }
       case net::FrameType::kNack: {
         const net::NackFrame nack = net::decode_nack_frame(reader);
         std::lock_guard<std::mutex> lock(mu_);
+        ++nacks_received_;
         auto it = outstanding_.find({src, nack.seq});
         if (it == outstanding_.end()) break;
+        std::shared_ptr<Outstanding>& out = it->second;
         for (std::uint32_t idx : nack.missing) {
-          if (idx >= it->second->datagrams.size()) continue;
-          transmit(it->second->addr, it->second->datagrams[idx]);
+          if (idx >= out->datagrams.size()) continue;
+          queue_tx(out->addr, out->datagrams[idx]);
           ++retransmissions_;
         }
+        // The peer is alive and mid-recovery: push the full-message resend
+        // out one RTO so the selective repair gets a chance to complete.
+        out->retransmitted = true;  // Karn
+        PeerState& peer = peer_state(src);
+        out->next_resend_us =
+            clock_->now_us() +
+            (opts_.adaptive_rto ? peer.rtt.rto_us() : opts_.rto_us);
         break;
       }
     }
@@ -398,28 +682,53 @@ void Endpoint::handle_datagram(const std::uint8_t* data, std::size_t len,
   }
 }
 
+void Endpoint::handle_ack_seq(net::NodeId src, std::uint64_t seq,
+                              std::int64_t now_us) {
+  auto it = outstanding_.find({src, seq});
+  if (it == outstanding_.end()) return;
+  std::shared_ptr<Outstanding>& out = it->second;
+  if (opts_.adaptive_rto && !out->retransmitted) {
+    // Karn's rule: only never-retransmitted messages yield RTT samples
+    // (a retransmitted one's ack is ambiguous). A sample also resets the
+    // peer's exponential backoff.
+    peer_state(src).rtt.sample(now_us - out->sent_at_us);
+  }
+  out->acked = true;
+  outstanding_.erase(it);
+  ack_cv_.notify_all();
+}
+
 void Endpoint::handle_data(net::NodeId src, const net::DataFrame& frame) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t now = clock_->now_us();
   auto [in_it, unused] = next_seq_in_.try_emplace(src, 1);
   const MsgKey key{src, frame.seq};
   if (frame.seq < in_it->second || stashed_.contains(key)) {
     // Duplicate of an already-completed message: re-ACK so the sender stops.
-    send_ack(src, frame.seq);
+    enqueue_ack(src, frame.seq, now);
     return;
   }
-  net::FragmentAssembler& assembler = reassembly_[key];
-  if (!assembler.add(frame)) return;  // dup fragment
-  if (!assembler.complete()) return;
+  Reassembly& re = reassembly_[key];
+  if (!re.assembler.add(frame)) return;  // dup fragment
+  re.last_arrival_us = now;
+  if (!re.assembler.complete()) {
+    // Partial multi-fragment message: arm the quiescence-based NACK probe.
+    if (opts_.selective_nack && opts_.nack_delay_us > 0 &&
+        re.nack_deadline_us == 0) {
+      re.nack_deadline_us = now + opts_.nack_delay_us;
+    }
+    return;
+  }
 
   Message msg;
   msg.src = src;
-  msg.port = assembler.port();
-  msg.payload = assembler.assemble();
+  msg.port = re.assembler.port();
+  msg.payload = re.assembler.assemble();
   reassembly_.erase(key);
-  send_ack(src, frame.seq);
+  enqueue_ack(src, frame.seq, now);
   stashed_.emplace(key, std::move(msg));
   deliver_in_order(src);
-  update_gap_skip(src, clock_->now_us());
+  update_gap_skip(src, now);
 }
 
 void Endpoint::deliver_in_order(net::NodeId src) {
@@ -435,18 +744,6 @@ void Endpoint::deliver_in_order(net::NodeId src) {
     queue.messages.push_back(std::move(msg));
     queue.cv.notify_one();
   }
-}
-
-void Endpoint::send_ack(net::NodeId dst, std::uint64_t seq) {
-  auto it = peers_.find(dst);
-  if (it == peers_.end()) return;  // envelope just registered it; paranoia
-  util::Buffer datagram;
-  util::WireWriter writer(datagram);
-  writer.u32(node_);
-  util::Buffer frame;
-  net::encode_ack_frame(frame, seq);
-  writer.raw(frame);
-  transmit(it->second, datagram);
 }
 
 }  // namespace mocha::live

@@ -17,28 +17,44 @@
 // how a server accepts clients it never configured. Outbound peers must be
 // known — either via add_peer() or learned from earlier inbound traffic.
 //
+// Fast path (see docs/PROTOCOL.md §8):
+//   - Adaptive per-peer RTO: Jacobson/Karels SRTT/RTTVAR estimation from
+//     ack round-trips (RttEstimator in live/clock.h), Karn's rule on
+//     samples, exponential backoff on retransmit. LAN peers converge to
+//     ~min_rto_us; WAN peers stop retransmitting hot.
+//   - Receiver-side selective NACKs: a partially reassembled message whose
+//     fragment stream has gone quiet for nack_delay_us triggers a NACK
+//     listing the missing fragment indices, so one lost fragment costs one
+//     fragment resend instead of a full-message RTO resend. Inbound NACKs
+//     are honored as before.
+//   - Ack piggybacking: transport acks are delayed up to ack_delay_us and
+//     coalesced onto the next outgoing DATA frame for that peer (DATA+ACK
+//     frames) when they fit in the MTU; leftover acks flush standalone.
+//   - Send batching: every datagram produced while holding the endpoint
+//     lock (fragments, acks, NACKs, retransmits) is queued and flushed in
+//     one sendmmsg(2) batch per poll iteration / send call.
+//
 // Threading: a background I/O thread owns the socket receive path and the
 // retransmit timers. send()/send_sync()/recv() are safe to call from any
 // thread. recv(port) must not be called for one port from two threads at
 // once (messages would be split arbitrarily between them) — same single-
 // consumer rule the sim mailboxes have.
 //
-// Not yet implemented vs the sim endpoint (see docs/PROTOCOL.md §8):
-// receiver-side NACK generation (incoming NACKs *are* honored) and the
-// per-byte CPU cost model (real CPUs charge themselves). Gap skip *is*
-// implemented: a sender that exhausts its retries leaves a permanent hole in
-// its sequence stream, and once newer messages are complete the receiver
-// skips the hole after rto × (max_retries + 2) of stagnation.
+// Gap skip: a sender that exhausts its retries leaves a permanent hole in
+// its sequence stream; once newer messages are complete the receiver skips
+// the hole after the sender's full backed-off retry schedule of stagnation.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +64,7 @@
 #include "live/clock.h"
 #include "net/frame.h"
 #include "net/types.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace mocha::live {
@@ -55,10 +72,49 @@ namespace mocha::live {
 struct EndpointOptions {
   // Max UDP payload bytes per datagram (envelope + frame header + chunk).
   std::size_t mtu = 1400;
-  std::int64_t rto_us = 20'000;  // retransmit timeout
-  int max_retries = 10;          // resends before a message fails
+
+  // --- Retransmission ---
+  // Initial RTO; also the fixed RTO when adaptive_rto is off.
+  std::int64_t rto_us = 20'000;
+  int max_retries = 10;  // resends before a message fails
+  // Adaptive per-peer RTO (Jacobson/Karels; see RttEstimator in clock.h).
+  bool adaptive_rto = true;
+  std::int64_t min_rto_us = 1'000;
+  std::int64_t max_rto_us = 1'000'000;
+  int rto_backoff_cap = 6;  // max exponential-backoff doublings
+
+  // --- Selective NACKs (receiver side) ---
+  // After a partial message's fragment stream has been quiet this long, ask
+  // the sender for just the missing fragments. 0 or selective_nack=false
+  // falls back to pure sender-RTO recovery.
+  bool selective_nack = true;
+  std::int64_t nack_delay_us = 2'000;
+
+  // --- Ack piggybacking ---
+  // Transport acks are held up to this long waiting for an outgoing DATA
+  // frame to ride on; 0 sends every ack standalone immediately. The hold
+  // only applies while the measured peer RTT exceeds 2x this delay (or is
+  // still unknown): on fast paths delaying acks eats the sender's RTO
+  // margin for no batching worth having, so they go out immediately.
+  std::int64_t ack_delay_us = 500;
+  std::size_t max_piggyback_acks = 8;  // per DATA+ACK frame (wire max 255)
+
   // Io-loop heartbeat when no retransmit timer is pending.
   std::int64_t idle_poll_us = 100'000;
+
+  // --- Test/bench-only inbound network emulation (netem) ---
+  // Applied to every received datagram before protocol processing, in the
+  // endpoint's own recv path (no root / tc needed): random loss, fixed
+  // one-way delay, and link serialization at recv_bw_kbps (datagrams
+  // release in order, each occupying the emulated link for its
+  // transmission time — so retransmit storms congest like a real WAN pipe).
+  double recv_loss_pct = 0.0;     // 0..100
+  std::int64_t recv_delay_us = 0;  // one-way propagation delay
+  double recv_bw_kbps = 0.0;       // 0 = unlimited
+  std::uint64_t netem_seed = 0x6d6f636861u;  // loss-roll PRNG seed
+  // Test hook: return true to drop this datagram (raw bytes, envelope
+  // included). Runs before the probabilistic netem; io-thread context.
+  std::function<bool(std::span<const std::uint8_t>)> recv_drop_hook;
 };
 
 class Endpoint {
@@ -105,11 +161,26 @@ class Endpoint {
   // Timed receive; 0 polls without blocking.
   std::optional<Message> recv_for(net::Port port, std::int64_t timeout_us);
 
+  // Worst-case duration of this endpoint's own full backed-off retransmit
+  // schedule (initial send + max_retries resends) — the horizon after which
+  // send_sync is guaranteed to have either an ack or a failure.
+  std::int64_t retry_schedule_us() const;
+
+  // --- Introspection (tests / benches) ---
+  // Current RTO / smoothed RTT for `peer`; 0 when the peer is unknown
+  // (srtt additionally 0 before the first sample).
+  std::int64_t peer_rto_us(net::NodeId peer) const;
+  std::int64_t peer_srtt_us(net::NodeId peer) const;
+
   // --- Statistics ---
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t fragments_sent() const { return fragments_sent_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+  std::uint64_t nacks_received() const { return nacks_received_; }
+  std::uint64_t acks_piggybacked() const { return acks_piggybacked_; }
+  std::uint64_t netem_dropped() const { return netem_dropped_; }
 
  private:
   using MsgKey = std::pair<net::NodeId, std::uint64_t>;  // (peer, seq)
@@ -118,14 +189,32 @@ class Endpoint {
     std::vector<util::Buffer> datagrams;  // envelope + frame, resend-ready
     sockaddr_in addr{};
     std::int64_t next_resend_us = 0;
+    std::int64_t sent_at_us = 0;   // RTT sample anchor
+    bool retransmitted = false;    // Karn: never sample a retransmitted msg
     int retries_left = 0;
     bool acked = false;
     bool failed = false;
   };
 
+  // Per-peer transport state: address, RTT estimator, pending delayed acks.
+  struct PeerState {
+    sockaddr_in addr{};
+    RttEstimator rtt;
+    std::vector<std::uint64_t> pending_acks;
+    std::int64_t ack_deadline_us = 0;  // 0 = no ack pending
+  };
+
   struct PortQueue {
     std::deque<Message> messages;
     std::condition_variable cv;
+  };
+
+  // One partially reassembled inbound message + its NACK bookkeeping.
+  struct Reassembly {
+    net::FragmentAssembler assembler;
+    std::int64_t last_arrival_us = 0;  // quiescence detector
+    std::int64_t nack_deadline_us = 0;  // 0 = not armed
+    int nacks_sent = 0;
   };
 
   // Armed while complete messages are stashed beyond a sequence hole.
@@ -134,18 +223,45 @@ class Endpoint {
     std::uint64_t expected = 0;  // next_seq_in_ when the timer was armed
   };
 
+  // Inbound datagram held by the netem emulation until `release_us`.
+  struct DelayedDatagram {
+    std::int64_t release_us = 0;
+    util::Buffer data;
+    sockaddr_in from{};
+  };
+
   void io_loop();
+  // Netem front door: loss/delay/bandwidth emulation, then process.
   void handle_datagram(const std::uint8_t* data, std::size_t len,
                        const sockaddr_in& from);
+  // Actual protocol processing of one datagram (takes mu_ internally).
+  void process_datagram(const std::uint8_t* data, std::size_t len,
+                        const sockaddr_in& from);
   void handle_data(net::NodeId src, const net::DataFrame& frame);
+  void handle_ack_seq(net::NodeId src, std::uint64_t seq,
+                      std::int64_t now_us);  // mu_ held
   void fire_timers(std::int64_t now_us);
+  void release_netem(std::int64_t now_us);  // io thread only
   std::int64_t next_deadline_us();  // mu_ held
   void deliver_in_order(net::NodeId src);   // mu_ held
   // (Re)arms or clears the gap-skip timer for `src` (mu_ held).
   void update_gap_skip(net::NodeId src, std::int64_t now_us);
   bool has_stashed(net::NodeId src) const;  // mu_ held
-  void send_ack(net::NodeId dst, std::uint64_t seq);  // mu_ held
-  void transmit(const sockaddr_in& addr, const util::Buffer& datagram);
+  // Queues a delayed transport ack (piggybacked or flushed later).
+  void enqueue_ack(net::NodeId dst, std::uint64_t seq,
+                   std::int64_t now_us);  // mu_ held
+  // Emits standalone ACK frames for every peer whose ack delay expired.
+  void flush_due_acks(std::int64_t now_us);  // mu_ held
+  // Takes up to max_piggyback_acks pending acks for `peer` that fit next to
+  // a chunk of `chunk_len` bytes inside the MTU.
+  std::vector<std::uint64_t> take_piggyback_acks(PeerState& peer,
+                                                 std::size_t chunk_len);
+  // mu_ held: looks up or creates the peer slot (estimator params set).
+  PeerState& peer_state(net::NodeId peer);
+  // Queues one datagram for the next flush_tx (mu_ held).
+  void queue_tx(const sockaddr_in& addr, util::Buffer datagram);
+  // Sends everything queued, in one sendmmsg batch per destination-run.
+  void flush_tx();
   void wake_io_thread();
   PortQueue& port_queue(net::Port port);  // mu_ held
 
@@ -153,6 +269,7 @@ class Endpoint {
   EndpointOptions opts_;
   Clock* clock_;
   std::size_t max_chunk_;  // payload bytes per fragment
+  std::int64_t gap_skip_window_us_;  // full backed-off sender schedule
   int sock_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t udp_port_ = 0;
@@ -161,19 +278,35 @@ class Endpoint {
 
   mutable std::mutex mu_;
   std::condition_variable ack_cv_;  // send_sync waiters
-  std::map<net::NodeId, sockaddr_in> peers_;
+  std::map<net::NodeId, PeerState> peers_;
   std::map<net::NodeId, std::uint64_t> next_seq_out_;
   std::map<MsgKey, std::shared_ptr<Outstanding>> outstanding_;
-  std::map<MsgKey, net::FragmentAssembler> reassembly_;
+  std::map<MsgKey, Reassembly> reassembly_;
   std::map<net::NodeId, std::uint64_t> next_seq_in_;
   std::map<MsgKey, Message> stashed_;  // complete but out of order
   std::map<net::NodeId, GapSkip> gap_skips_;
   std::map<net::Port, std::unique_ptr<PortQueue>> delivered_;
 
+  // Outbound datagrams accumulated under mu_, flushed in batches.
+  struct TxItem {
+    sockaddr_in addr{};
+    util::Buffer datagram;
+  };
+  std::vector<TxItem> tx_queue_;
+
+  // Netem state — io thread only, no lock.
+  std::deque<DelayedDatagram> netem_queue_;
+  std::int64_t netem_link_free_us_ = 0;  // emulated link busy until here
+  util::SplitMix64 netem_rng_;
+
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
   std::atomic<std::uint64_t> fragments_sent_{0};
   std::atomic<std::uint64_t> retransmissions_{0};
+  std::atomic<std::uint64_t> nacks_sent_{0};
+  std::atomic<std::uint64_t> nacks_received_{0};
+  std::atomic<std::uint64_t> acks_piggybacked_{0};
+  std::atomic<std::uint64_t> netem_dropped_{0};
 };
 
 // Bytes of the per-datagram source-node envelope preceding the frame.

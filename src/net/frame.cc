@@ -16,6 +16,25 @@ void encode_data_frame(util::Buffer& out, std::uint64_t seq,
   writer.raw(chunk);
 }
 
+void encode_data_ack_frame(util::Buffer& out, std::uint64_t seq,
+                           std::uint32_t frag_idx, std::uint32_t frag_count,
+                           Port port, std::span<const std::uint64_t> acks,
+                           std::span<const std::uint8_t> chunk) {
+  if (acks.size() > kMaxPiggybackAcks) {
+    throw util::CodecError("DATA+ACK frame with too many piggybacked acks (" +
+                           std::to_string(acks.size()) + ")");
+  }
+  util::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(FrameType::kDataAck));
+  writer.u64(seq);
+  writer.u32(frag_idx);
+  writer.u32(frag_count);
+  writer.u16(port);
+  writer.u8(static_cast<std::uint8_t>(acks.size()));
+  for (std::uint64_t ack : acks) writer.u64(ack);
+  writer.raw(chunk);
+}
+
 void encode_ack_frame(util::Buffer& out, std::uint64_t seq) {
   util::WireWriter writer(out);
   writer.u8(static_cast<std::uint8_t>(FrameType::kAck));
@@ -52,7 +71,7 @@ std::vector<util::Buffer> fragment_message(
 
 FrameType decode_frame_type(util::WireReader& reader) {
   const std::uint8_t raw = reader.u8();
-  if (raw > static_cast<std::uint8_t>(FrameType::kNack)) {
+  if (raw > static_cast<std::uint8_t>(FrameType::kDataAck)) {
     throw util::CodecError("unknown MochaNet frame type " +
                            std::to_string(raw));
   }
@@ -65,6 +84,19 @@ DataFrame decode_data_frame(util::WireReader& reader) {
   frame.frag_idx = reader.u32();
   frame.frag_count = reader.u32();
   frame.port = reader.u16();
+  frame.chunk = reader.raw(reader.remaining());
+  return frame;
+}
+
+DataFrame decode_data_ack_frame(util::WireReader& reader) {
+  DataFrame frame;
+  frame.seq = reader.u64();
+  frame.frag_idx = reader.u32();
+  frame.frag_count = reader.u32();
+  frame.port = reader.u16();
+  const std::uint8_t n_acks = reader.u8();
+  frame.acks.reserve(n_acks);
+  for (std::uint8_t i = 0; i < n_acks; ++i) frame.acks.push_back(reader.u64());
   frame.chunk = reader.raw(reader.remaining());
   return frame;
 }

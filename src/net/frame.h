@@ -10,10 +10,18 @@
 // live/endpoint.h) — the frame bytes themselves are identical.
 //
 // Frame layouts (all integers little-endian, util::WireWriter conventions):
-//   DATA (0): u8 type, u64 seq, u32 frag_idx, u32 frag_count,
-//             u16 logical_port, raw chunk
-//   ACK  (1): u8 type, u64 seq
-//   NACK (2): u8 type, u64 seq, u32 n, u32 missing_idx ...
+//   DATA     (0): u8 type, u64 seq, u32 frag_idx, u32 frag_count,
+//                 u16 logical_port, raw chunk
+//   ACK      (1): u8 type, u64 seq
+//   NACK     (2): u8 type, u64 seq, u32 n, u32 missing_idx ...
+//   DATA+ACK (3): u8 type, u64 seq, u32 frag_idx, u32 frag_count,
+//                 u16 logical_port, u8 n_acks, u64 ack_seq ..., raw chunk
+//
+// DATA+ACK is a DATA frame with transport acks piggybacked between the
+// header and the chunk: a receiver with acks pending for a peer it is about
+// to send data to coalesces them onto the data frame instead of paying for
+// standalone ACK datagrams. Decoders treat the payload exactly like DATA
+// and the ack list exactly like that many ACK frames.
 #pragma once
 
 #include <cstdint>
@@ -25,18 +33,30 @@
 
 namespace mocha::net {
 
-enum class FrameType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kNack = 2,
+  kDataAck = 3,  // DATA with piggybacked transport acks
+};
 
 // DATA frame overhead: type(1) + seq(8) + frag_idx(4) + frag_count(4) +
 // port(2). A transport with MTU M carries at most M - kFragHeaderBytes
 // payload bytes per fragment.
 constexpr std::size_t kFragHeaderBytes = 19;
 
+// DATA+ACK adds an ack-count byte plus 8 bytes per piggybacked ack seq.
+constexpr std::size_t kDataAckBaseHeaderBytes = kFragHeaderBytes + 1;
+constexpr std::size_t kPiggybackAckBytes = 8;
+constexpr std::size_t kMaxPiggybackAcks = 255;  // u8 count on the wire
+
 struct DataFrame {
   std::uint64_t seq = 0;
   std::uint32_t frag_idx = 0;
   std::uint32_t frag_count = 1;
   Port port = 0;  // upward-multiplexed logical port
+  // Transport acks piggybacked on this fragment (DATA+ACK only).
+  std::vector<std::uint64_t> acks;
   // View into the frame buffer; valid only while that buffer lives.
   std::span<const std::uint8_t> chunk;
 };
@@ -56,6 +76,12 @@ struct NackFrame {
 void encode_data_frame(util::Buffer& out, std::uint64_t seq,
                        std::uint32_t frag_idx, std::uint32_t frag_count,
                        Port port, std::span<const std::uint8_t> chunk);
+// Appends one DATA+ACK frame: a DATA frame carrying `acks` piggybacked
+// transport acks (at most kMaxPiggybackAcks) ahead of the chunk.
+void encode_data_ack_frame(util::Buffer& out, std::uint64_t seq,
+                           std::uint32_t frag_idx, std::uint32_t frag_count,
+                           Port port, std::span<const std::uint64_t> acks,
+                           std::span<const std::uint8_t> chunk);
 void encode_ack_frame(util::Buffer& out, std::uint64_t seq);
 void encode_nack_frame(util::Buffer& out, const NackFrame& nack);
 
@@ -72,6 +98,9 @@ std::vector<util::Buffer> fragment_message(std::uint64_t seq, Port port,
 
 FrameType decode_frame_type(util::WireReader& reader);
 DataFrame decode_data_frame(util::WireReader& reader);
+// Decodes a DATA+ACK frame; the returned DataFrame carries the piggybacked
+// ack seqs in `acks` and is otherwise identical to a DATA frame.
+DataFrame decode_data_ack_frame(util::WireReader& reader);
 AckFrame decode_ack_frame(util::WireReader& reader);
 NackFrame decode_nack_frame(util::WireReader& reader);
 

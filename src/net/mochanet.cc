@@ -126,8 +126,19 @@ void MochaNetEndpoint::receiver_loop() {
     util::WireReader reader(dgram.payload);
     switch (decode_frame_type(reader)) {
       case FrameType::kData:
-        handle_data(dgram, reader);
+        handle_data(dgram, decode_data_frame(reader));
         break;
+      case FrameType::kDataAck: {
+        // Piggybacked acks first (they release send_sync waiters), then the
+        // data payload exactly as a plain DATA frame.
+        const DataFrame frame = decode_data_ack_frame(reader);
+        for (std::uint64_t acked : frame.acks) {
+          sched_.compute(net_.profile().mn_ack_cpu_us);
+          ack_outstanding(dgram.src, acked);
+        }
+        handle_data(dgram, frame);
+        break;
+      }
       case FrameType::kAck:
         handle_ack(dgram, reader);
         break;
@@ -139,8 +150,7 @@ void MochaNetEndpoint::receiver_loop() {
 }
 
 void MochaNetEndpoint::handle_data(const Datagram& dgram,
-                                   util::WireReader& reader) {
-  const DataFrame frame = decode_data_frame(reader);
+                                   const DataFrame& frame) {
   const std::uint64_t seq = frame.seq;
 
   // User-level reassembly cost at the receiver.
@@ -270,8 +280,11 @@ void MochaNetEndpoint::send_ack(NodeId dst, std::uint64_t seq) {
 void MochaNetEndpoint::handle_ack(const Datagram& dgram,
                                   util::WireReader& reader) {
   sched_.compute(net_.profile().mn_ack_cpu_us);
-  const std::uint64_t seq = decode_ack_frame(reader).seq;
-  auto it = outstanding_.find({dgram.src, seq});
+  ack_outstanding(dgram.src, decode_ack_frame(reader).seq);
+}
+
+void MochaNetEndpoint::ack_outstanding(NodeId src, std::uint64_t seq) {
+  auto it = outstanding_.find({src, seq});
   if (it == outstanding_.end()) return;
   it->second->acked = true;
   if (it->second->waiter) it->second->waiter->notify_all();

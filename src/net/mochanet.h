@@ -100,9 +100,12 @@ class MochaNetEndpoint {
   // longer than the sender's full retry schedule.
   void schedule_gap_skip(NodeId src);
   void receiver_loop();
-  void handle_data(const Datagram& dgram, util::WireReader& reader);
+  void handle_data(const Datagram& dgram, const DataFrame& frame);
   void handle_ack(const Datagram& dgram, util::WireReader& reader);
   void handle_nack(const Datagram& dgram, util::WireReader& reader);
+  // Marks (src, seq) acked and wakes its send_sync waiter — the shared tail
+  // of standalone ACK frames and acks piggybacked on DATA+ACK frames.
+  void ack_outstanding(NodeId src, std::uint64_t seq);
   // Selective retransmission: after a quiet period, ask the sender for just
   // the missing fragments of a partially reassembled message.
   void arm_nack(MsgKey key);

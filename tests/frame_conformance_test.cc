@@ -64,6 +64,66 @@ TEST(FrameCodec, NackFrameRoundTrip) {
   EXPECT_EQ(nack.missing, (std::vector<std::uint32_t>{0, 4, 17}));
 }
 
+TEST(FrameCodec, DataAckFrameRoundTrip) {
+  const util::Buffer payload = make_payload(200, 4);
+  const std::vector<std::uint64_t> acks = {7, 0xffffffffffffffffull, 42};
+  util::Buffer wire;
+  encode_data_ack_frame(wire, /*seq=*/11, /*frag_idx=*/1, /*frag_count=*/2,
+                        /*port=*/25, acks, payload);
+  EXPECT_EQ(wire.size(), kDataAckBaseHeaderBytes +
+                             acks.size() * kPiggybackAckBytes + payload.size());
+
+  util::WireReader reader(wire);
+  ASSERT_EQ(decode_frame_type(reader), FrameType::kDataAck);
+  const DataFrame frame = decode_data_ack_frame(reader);
+  EXPECT_EQ(frame.seq, 11u);
+  EXPECT_EQ(frame.frag_idx, 1u);
+  EXPECT_EQ(frame.frag_count, 2u);
+  EXPECT_EQ(frame.port, 25);
+  EXPECT_EQ(frame.acks, acks);
+  ASSERT_EQ(frame.chunk.size(), payload.size());
+  EXPECT_TRUE(std::equal(frame.chunk.begin(), frame.chunk.end(),
+                         payload.begin()));
+}
+
+TEST(FrameCodec, DataAckFrameBoundaries) {
+  // Zero acks and an empty chunk are both legal extremes.
+  util::Buffer wire;
+  encode_data_ack_frame(wire, 1, 0, 1, 9, {}, {});
+  EXPECT_EQ(wire.size(), kDataAckBaseHeaderBytes);
+  util::WireReader reader(wire);
+  ASSERT_EQ(decode_frame_type(reader), FrameType::kDataAck);
+  const DataFrame frame = decode_data_ack_frame(reader);
+  EXPECT_TRUE(frame.acks.empty());
+  EXPECT_TRUE(frame.chunk.empty());
+
+  // The wire ack count is a u8: exactly kMaxPiggybackAcks fits, one more
+  // must be rejected at encode time.
+  std::vector<std::uint64_t> max_acks(kMaxPiggybackAcks, 5);
+  util::Buffer full;
+  encode_data_ack_frame(full, 2, 0, 1, 9, max_acks, make_payload(10));
+  util::WireReader full_reader(full);
+  decode_frame_type(full_reader);
+  EXPECT_EQ(decode_data_ack_frame(full_reader).acks.size(),
+            kMaxPiggybackAcks);
+
+  max_acks.push_back(6);
+  util::Buffer overflow;
+  EXPECT_THROW(
+      encode_data_ack_frame(overflow, 3, 0, 1, 9, max_acks, make_payload(10)),
+      util::CodecError);
+}
+
+TEST(FrameCodec, DataAckTruncatedInsideAckListThrows) {
+  util::Buffer wire;
+  encode_data_ack_frame(wire, 4, 0, 1, 9, std::vector<std::uint64_t>{1, 2, 3},
+                        make_payload(50));
+  wire.resize(kDataAckBaseHeaderBytes + kPiggybackAckBytes + 3);
+  util::WireReader reader(wire);
+  ASSERT_EQ(decode_frame_type(reader), FrameType::kDataAck);
+  EXPECT_THROW(decode_data_ack_frame(reader), util::CodecError);
+}
+
 TEST(FrameCodec, UnknownTypeAndTruncationThrow) {
   util::Buffer bogus{255};
   util::WireReader bogus_reader(bogus);
@@ -196,6 +256,62 @@ TEST(FrameConformance, SimEndpointFramesDecodeWithSharedCodec) {
   EXPECT_EQ(assembler.frag_count(), 4u);
   EXPECT_EQ(assembler.port(), 44);
   EXPECT_EQ(assembler.assemble(), message);
+}
+
+// A DATA+ACK frame built with the shared encoder (the live endpoint's
+// piggyback path) must do double duty at a *sim* endpoint: release the
+// send_sync waiter of the acked message AND deliver the data payload.
+TEST(FrameConformance, SimEndpointAcceptsPiggybackedAckFrames) {
+  sim::Scheduler sched;
+  Network net(sched, NetProfile::instant());
+  const NodeId a = net.add_node("sim-endpoint");
+  const NodeId b = net.add_node("live-like-peer");
+  MochaNetEndpoint endpoint(net, a);
+  auto& wire_box = net.bind(b, MochaNetEndpoint::kWirePort);
+
+  const util::Buffer outbound = make_payload(40, 1);
+  const util::Buffer reply_payload = make_payload(64, 2);
+
+  util::Status sync_status(util::StatusCode::kTimeout, "never ran");
+  sched.spawn("send", [&] {
+    sync_status = endpoint.send_sync(b, /*port=*/9, outbound,
+                                     /*timeout=*/1'000'000);
+  });
+
+  sched.spawn("peer", [&] {
+    // Wait for the endpoint's first DATA fragment (its seq 1), then answer
+    // with one DATA+ACK datagram: our own seq-1 message carrying the
+    // transport ack for theirs, exactly what live::Endpoint would emit.
+    std::uint64_t their_seq = 0;
+    while (their_seq == 0) {
+      auto dgram = wire_box.recv_for(1'000'000);
+      ASSERT_TRUE(dgram.has_value());
+      util::WireReader reader(dgram->payload);
+      if (decode_frame_type(reader) != FrameType::kData) continue;
+      their_seq = decode_data_frame(reader).seq;
+    }
+    EXPECT_EQ(their_seq, 1u);
+
+    Datagram reply;
+    reply.src = b;
+    reply.dst = a;
+    reply.src_port = MochaNetEndpoint::kWirePort;
+    reply.dst_port = MochaNetEndpoint::kWirePort;
+    encode_data_ack_frame(reply.payload, /*seq=*/1, /*frag_idx=*/0,
+                          /*frag_count=*/1, /*port=*/9,
+                          std::vector<std::uint64_t>{their_seq},
+                          reply_payload);
+    net.send(std::move(reply));
+  });
+
+  std::optional<MochaNetEndpoint::Message> delivered;
+  sched.spawn("recv", [&] { delivered = endpoint.recv_for(9, 1'000'000); });
+  sched.run();
+
+  EXPECT_TRUE(sync_status.is_ok()) << sync_status.to_string();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->src, b);
+  EXPECT_EQ(delivered->payload, reply_payload);
 }
 
 }  // namespace

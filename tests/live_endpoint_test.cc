@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -188,6 +189,135 @@ TEST(LiveEndpoint, MalformedDatagramsAreDropped) {
   // The endpoint survives and still processes good traffic afterwards.
   raw.send_to(b.udp_port(), RawPeer::craft_data(77, 1, 4, make_payload(8)));
   EXPECT_TRUE(b.recv_for(4, 2'000'000).has_value());
+}
+
+// One lost fragment must be repaired by a receiver-side NACK (one fragment
+// resend after the stream goes quiet), not by the sender's full-message RTO:
+// the sender's initial RTO is set so large that a timeout-based recovery
+// would trip the elapsed-time assertion.
+TEST(LiveEndpoint, NackRecoversDroppedFragmentBeforeSenderRto) {
+  EndpointOptions sender_opts;
+  sender_opts.mtu = 256;         // 1000-byte payload -> 5 fragments
+  sender_opts.rto_us = 500'000;  // full-message resend would take >= 0.5s
+  EndpointOptions receiver_opts;
+  std::atomic<int> data_seen{0};
+  receiver_opts.recv_drop_hook = [&](std::span<const std::uint8_t> datagram) {
+    // Envelope is 4 bytes; the frame type byte follows. Drop the third DATA
+    // fragment, once.
+    if (datagram.size() <= kLiveEnvelopeBytes) return false;
+    const std::uint8_t type = datagram[kLiveEnvelopeBytes];
+    if (type != static_cast<std::uint8_t>(net::FrameType::kData) &&
+        type != static_cast<std::uint8_t>(net::FrameType::kDataAck)) {
+      return false;
+    }
+    return ++data_seen == 3;
+  };
+  Endpoint a(1, 0, sender_opts);
+  Endpoint b(2, 0, receiver_opts);
+  a.add_peer(2, "127.0.0.1", b.udp_port());
+
+  const util::Buffer payload = make_payload(1'000, 9);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a.send_sync(2, 6, payload, 5'000'000).is_ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  auto msg = b.recv_for(6, 2'000'000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, payload);
+  // Recovered via NACK: well under the 500ms the sender's RTO would need.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(250));
+  EXPECT_GE(b.nacks_sent(), 1u);
+  EXPECT_GE(a.nacks_received(), 1u);
+  // Only the missing fragment was resent, not the whole 5-fragment message.
+  EXPECT_GE(a.retransmissions(), 1u);
+  EXPECT_LT(a.retransmissions(), 5u);
+}
+
+// Inbound netem emulation: under 25% datagram loss every message still
+// arrives (sender-side retransmission), and the drop counter proves the
+// emulation actually engaged.
+TEST(LiveEndpoint, NetemLossIsRecoveredByRetransmission) {
+  EndpointOptions sender_opts;
+  sender_opts.rto_us = 5'000;  // keep the lossy run brisk
+  EndpointOptions lossy;
+  lossy.recv_loss_pct = 25.0;
+  lossy.netem_seed = 42;
+  Endpoint a(1, 0, sender_opts);
+  Endpoint b(2, 0, lossy);
+  a.add_peer(2, "127.0.0.1", b.udp_port());
+
+  constexpr int kMessages = 30;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(
+        a.send_sync(2, 5, make_payload(64, static_cast<std::uint8_t>(i)),
+                    5'000'000)
+            .is_ok())
+        << "message " << i;
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    auto msg = b.recv_for(5, 2'000'000);
+    ASSERT_TRUE(msg.has_value()) << "message " << i;
+    EXPECT_EQ(msg->payload, make_payload(64, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_GT(b.netem_dropped(), 0u);
+  EXPECT_GT(a.retransmissions(), 0u);
+}
+
+// The per-peer estimator converges on loopback: after a burst of acked
+// messages the peer's RTO drops well below the 20ms initial and SRTT tracks
+// the (sub-millisecond + ack-delay) loopback round trip.
+TEST(LiveEndpoint, AdaptiveRtoConvergesBelowInitialOnLoopback) {
+  Endpoint a(1, 0);
+  // Immediate acks on the receiver: this test is about RTO estimation, and
+  // a held ack would sit inside every RTT sample, leaving the converged RTO
+  // only ~min_rto_us above the sample — close enough that one sanitizer or
+  // scheduler hiccup causes a spurious retransmission and a flaky failure.
+  EndpointOptions receiver_opts;
+  receiver_opts.ack_delay_us = 0;
+  Endpoint b(2, 0, receiver_opts);
+  a.add_peer(2, "127.0.0.1", b.udp_port());
+
+  EXPECT_EQ(a.peer_rto_us(2), a.options().rto_us);  // no samples yet
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(a.send_sync(2, 3, make_payload(64), 2'000'000).is_ok());
+  }
+  EXPECT_GT(a.peer_srtt_us(2), 0);
+  EXPECT_LT(a.peer_srtt_us(2), 10'000);
+  EXPECT_LT(a.peer_rto_us(2), a.options().rto_us);
+  EXPECT_GE(a.peer_rto_us(2), a.options().min_rto_us);
+  EXPECT_EQ(a.retransmissions(), 0u);
+}
+
+// Delayed acks ride outgoing data: with the receiver's standalone-ack flush
+// pushed out to 200ms, the sender's send_sync can only complete fast if the
+// ack was piggybacked onto the receiver's reverse-direction DATA frame.
+TEST(LiveEndpoint, AckPiggybacksOnReverseData) {
+  EndpointOptions sender_opts;
+  sender_opts.rto_us = 500'000;  // a retransmit-induced ack would be late
+  EndpointOptions receiver_opts;
+  receiver_opts.ack_delay_us = 200'000;
+  Endpoint a(1, 0, sender_opts);
+  Endpoint b(2, 0, receiver_opts);
+  a.add_peer(2, "127.0.0.1", b.udp_port());
+
+  util::Status status = util::Status::ok();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread sender([&] {
+    status = a.send_sync(2, 7, make_payload(100), 2'000'000);
+  });
+  auto msg = b.recv_for(7, 2'000'000);
+  ASSERT_TRUE(msg.has_value());
+  b.send(1, 8, make_payload(32));  // carries the pending ack piggybacked
+  sender.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_TRUE(status.is_ok());
+  // Far sooner than the 200ms standalone-ack flush: the ack rode the data.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(150));
+  EXPECT_GE(b.acks_piggybacked(), 1u);
+  auto reverse = a.recv_for(8, 2'000'000);
+  ASSERT_TRUE(reverse.has_value());  // DATA+ACK data path delivers too
+  EXPECT_EQ(reverse->payload, make_payload(32));
 }
 
 TEST(LiveEndpoint, EmptyPayloadTravels) {

@@ -1,0 +1,164 @@
+// Multi-process WAN A/B benchmark test: forks the mocha_live CLI (path
+// injected via MOCHA_LIVE_BIN) as a transfer server + client pair under the
+// userspace WAN emulation (2% loss, 20ms one-way delay each side, 6 Mbit/s
+// inbound serialization), twice:
+//
+//   1. --fixed-rto: the old transport — 20ms fixed RTO against a 40ms RTT,
+//      whole-message resends only. Its spurious retransmit storm (~3x
+//      offered load) exceeds the emulated pipe and collapses: most
+//      transfers fail, survivors see saturated latency.
+//   2. adaptive: per-peer RTO + receiver-side NACKs + delayed acks. All
+//      transfers complete with a small retransmit budget.
+//
+// The adaptive run receives the fixed run's p99 via --baseline-p99-us and
+// writes BENCH_live_wan.json with the speedup, which this test asserts is
+// comfortably over 1 (the acceptance bar is 2x; the assertion is
+// conservative to stay robust on loaded CI machines).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef MOCHA_LIVE_BIN
+#error "MOCHA_LIVE_BIN must point at the mocha_live executable"
+#endif
+
+namespace {
+
+constexpr long long kRounds = 100;
+const std::vector<std::string> kWanFlags = {
+    "--loss-pct", "2", "--delay-us", "20000", "--bw-kbps", "6000"};
+
+pid_t spawn(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  perror("execv mocha_live");
+  _exit(127);
+}
+
+int join(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Value of the metric named `name` in a BENCH_*.json metrics array:
+// {"name": "<name>", "value": <v>, ...}. -1 when absent.
+double bench_metric(const std::string& json, const std::string& name) {
+  const auto pos = json.find("\"" + name + "\"");
+  if (pos == std::string::npos) return -1;
+  const auto value_key = json.find("\"value\"", pos);
+  if (value_key == std::string::npos) return -1;
+  const auto colon = json.find(':', value_key);
+  if (colon == std::string::npos) return -1;
+  return std::stod(json.substr(colon + 1));
+}
+
+// Runs one server + one transfer client under the WAN profile. Returns the
+// client's exit code; the bench JSON lands in `dir`.
+int run_transfer_pair(const std::string& dir, bool fixed_rto,
+                      const std::string& bench_name,
+                      long long baseline_p99_us) {
+  const std::string ready = dir + "/ready_" + bench_name;
+
+  std::vector<std::string> server_args = {MOCHA_LIVE_BIN, "--server",
+                                          "--port",       "0",
+                                          "--ready-file", ready,
+                                          "--quiet"};
+  server_args.insert(server_args.end(), kWanFlags.begin(), kWanFlags.end());
+  if (fixed_rto) server_args.push_back("--fixed-rto");
+  const pid_t server = spawn(server_args);
+
+  std::string port;
+  for (int i = 0; i < 100 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::istringstream(slurp(ready)) >> port;
+  }
+  if (port.empty()) {
+    kill(server, SIGKILL);
+    join(server);
+    ADD_FAILURE() << "transfer server never became ready (" << bench_name
+                  << ")";
+    return -1;
+  }
+
+  std::vector<std::string> client_args = {
+      MOCHA_LIVE_BIN, "--client",       "--transfer",
+      "--site",       "2",              "--server-addr",
+      "127.0.0.1:" + port,              "--rounds",
+      std::to_string(kRounds),          "--bytes",
+      "4096",         "--concurrency",  "4",
+      "--bench-json-dir", dir,          "--bench-name",
+      bench_name,     "--quiet"};
+  client_args.insert(client_args.end(), kWanFlags.begin(), kWanFlags.end());
+  if (fixed_rto) client_args.push_back("--fixed-rto");
+  if (baseline_p99_us > 0) {
+    client_args.push_back("--baseline-p99-us");
+    client_args.push_back(std::to_string(baseline_p99_us));
+  }
+  const int client_exit = join(spawn(client_args));
+
+  kill(server, SIGTERM);
+  EXPECT_EQ(join(server), 0) << bench_name << " server exit";
+  return client_exit;
+}
+
+TEST(LiveWan, AdaptiveTransportBeatsFixedRtoUnderLossyWan) {
+  char tmpl[] = "/tmp/mocha_live_wan_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  // Baseline: fixed 20ms RTO. Under the emulated pipe it collapses, so a
+  // nonzero client exit (failed transfers) is expected and tolerated.
+  run_transfer_pair(dir, /*fixed_rto=*/true, "live_wan_fixed",
+                    /*baseline_p99_us=*/0);
+  const std::string fixed_json = slurp(dir + "/BENCH_live_wan_fixed.json");
+  ASSERT_FALSE(fixed_json.empty()) << "fixed-RTO bench JSON not written";
+  const double fixed_p99 = bench_metric(fixed_json, "p99_latency");
+  ASSERT_GT(fixed_p99, 0) << fixed_json;
+
+  // Adaptive transport: every transfer must complete (exit 0, no failures).
+  const int adaptive_exit =
+      run_transfer_pair(dir, /*fixed_rto=*/false, "live_wan",
+                        static_cast<long long>(fixed_p99));
+  EXPECT_EQ(adaptive_exit, 0) << "adaptive transfer client reported failures";
+
+  const std::string json = slurp(dir + "/BENCH_live_wan.json");
+  ASSERT_FALSE(json.empty()) << "BENCH_live_wan.json not written";
+  const double p99 = bench_metric(json, "p99_latency");
+  ASSERT_GT(p99, 0) << json;
+  EXPECT_EQ(bench_metric(json, "failures"), 0) << json;
+  // Receiver-side NACK recovery engaged under loss.
+  EXPECT_GT(bench_metric(json, "nacks_received"), 0) << json;
+  // Acceptance target is >= 2x; assert a conservative margin so a loaded CI
+  // machine cannot flake the suite while a real regression still trips it.
+  EXPECT_EQ(bench_metric(json, "baseline_p99_latency"), fixed_p99) << json;
+  EXPECT_GE(bench_metric(json, "p99_speedup_vs_fixed_rto"), 1.3) << json;
+  // The collapse itself: the fixed-RTO transport burned an order of
+  // magnitude more retransmissions than the adaptive one.
+  EXPECT_GT(bench_metric(fixed_json, "retransmissions"),
+            bench_metric(json, "retransmissions") * 5);
+}
+
+}  // namespace

@@ -15,15 +15,35 @@
 //   violation. With --bench-json-dir it writes BENCH_live_lock_acquire.json.
 //   Exits 0 only if every round succeeded.
 //
+// Transfer workload (client): instead of lock rounds, push --rounds messages
+// of --bytes each (over --concurrency parallel streams) to the server and
+// measure per-message transfer latency (send_sync round trip):
+//   mocha_live --client --transfer --site 2 --server-addr 127.0.0.1:7000
+//              --rounds 300 --bytes 4096 [--concurrency 4]
+//              [--bench-json-dir D] [--bench-name live_wan]
+//              [--baseline-p99-us N]
+//   With --bench-json-dir it writes BENCH_<bench-name>.json; when
+//   --baseline-p99-us carries a fixed-RTO baseline measurement, the JSON
+//   additionally reports the baseline and the speedup.
+//
+// WAN emulation (server and client, applied in the endpoint's own recv path,
+// no root/tc needed): --loss-pct P drops P% of inbound datagrams,
+// --delay-us N adds one-way propagation delay, --bw-kbps B serializes
+// inbound datagrams at B kbit/s (so retransmit storms congest like a real
+// pipe). --fixed-rto disables the adaptive RTO, receiver-side NACKs, and ack
+// delay/piggybacking — the PR 1 transport, for A/B comparison.
+//
 // Two machines: start the server on one host, point --server-addr at it from
 // the others, give every client a distinct --site id ≥ 2.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +62,8 @@ void on_signal(int) { g_stop = 1; }
 
 // The server is site/node 1 by convention (the home site).
 constexpr mocha::net::NodeId kServerNode = 1;
+// Logical port the transfer workload pushes its payloads to.
+constexpr mocha::net::Port kTransferPort = 40;
 
 struct Args {
   bool server = false;
@@ -59,15 +81,54 @@ struct Args {
   std::string ready_file;
   std::int64_t lease_grace_us = 300'000;
   bool quiet = false;
+  // Transfer workload
+  bool transfer = false;
+  std::uint64_t bytes = 4096;
+  int concurrency = 1;
+  std::string bench_name = "live_wan";
+  std::int64_t baseline_p99_us = 0;
+  // WAN emulation + transport A/B knobs
+  double loss_pct = 0.0;
+  std::int64_t delay_us = 0;
+  double bw_kbps = 0.0;
+  bool fixed_rto = false;
+  std::int64_t rto_us = 0;       // 0 = endpoint default
+  std::int64_t ack_delay_us = -1;  // -1 = endpoint default
 };
+
+mocha::live::EndpointOptions make_endpoint_options(const Args& args) {
+  mocha::live::EndpointOptions opts;
+  opts.recv_loss_pct = args.loss_pct;
+  opts.recv_delay_us = args.delay_us;
+  opts.recv_bw_kbps = args.bw_kbps;
+  // Distinct loss patterns per process, deterministic per site.
+  opts.netem_seed = 0x6d6f636861u + args.site * 2654435761u;
+  if (args.rto_us > 0) opts.rto_us = args.rto_us;
+  if (args.ack_delay_us >= 0) opts.ack_delay_us = args.ack_delay_us;
+  if (args.fixed_rto) {
+    // The PR 1 transport: fixed RTO, whole-message resend only, every ack
+    // standalone and immediate.
+    opts.adaptive_rto = false;
+    opts.selective_nack = false;
+    opts.ack_delay_us = 0;
+  }
+  return opts;
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --server --port P [--stats-file F] [--ready-file F]\n"
                "       %s --client --site N --server-addr HOST:PORT "
                "--rounds N [--port P] [--lock ID] [--hold-us N] [--shared]\n"
-               "          [--counter-file F] [--bench-json-dir D] [--quiet]\n",
-               argv0, argv0);
+               "          [--counter-file F] [--bench-json-dir D] [--quiet]\n"
+               "       %s --client --transfer --site N --server-addr HOST:PORT"
+               " --rounds N\n"
+               "          [--bytes N] [--concurrency N] [--bench-name NAME]"
+               " [--baseline-p99-us N]\n"
+               "WAN emulation / transport (server and client):\n"
+               "          [--loss-pct P] [--delay-us N] [--bw-kbps B]"
+               " [--fixed-rto] [--rto-us N] [--ack-delay-us N]\n",
+               argv0, argv0, argv0);
   return 64;
 }
 
@@ -85,6 +146,46 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.shared = true;
     } else if (arg == "--quiet") {
       args.quiet = true;
+    } else if (arg == "--transfer") {
+      args.transfer = true;
+    } else if (arg == "--fixed-rto") {
+      args.fixed_rto = true;
+    } else if (arg == "--bytes") {
+      const char* v = value();
+      if (!v) return false;
+      args.bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--concurrency") {
+      const char* v = value();
+      if (!v) return false;
+      args.concurrency = std::atoi(v);
+    } else if (arg == "--bench-name") {
+      const char* v = value();
+      if (!v) return false;
+      args.bench_name = v;
+    } else if (arg == "--baseline-p99-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.baseline_p99_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--loss-pct") {
+      const char* v = value();
+      if (!v) return false;
+      args.loss_pct = std::atof(v);
+    } else if (arg == "--delay-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.delay_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--bw-kbps") {
+      const char* v = value();
+      if (!v) return false;
+      args.bw_kbps = std::atof(v);
+    } else if (arg == "--ack-delay-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.ack_delay_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--rto-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.rto_us = std::strtoll(v, nullptr, 10);
     } else if (arg == "--port") {
       const char* v = value();
       if (!v) return false;
@@ -139,11 +240,19 @@ bool parse_args(int argc, char** argv, Args& args) {
 
 int run_server(const Args& args) {
   mocha::live::Endpoint endpoint(kServerNode,
-                                 static_cast<std::uint16_t>(args.port));
+                                 static_cast<std::uint16_t>(args.port),
+                                 make_endpoint_options(args));
   mocha::live::LockServerOptions opts;
   opts.lease_grace_us = args.lease_grace_us;
   mocha::live::LockServer server(endpoint, opts);
   server.start();
+  // Transfer workload sink: drain (and discard) payloads pushed to the
+  // transfer port so they do not pile up in the delivery queue.
+  std::thread transfer_drain([&endpoint] {
+    while (!g_stop) {
+      (void)endpoint.recv_for(kTransferPort, 50'000);
+    }
+  });
   if (!args.ready_file.empty()) {
     std::ofstream(args.ready_file) << endpoint.udp_port() << "\n";
   }
@@ -155,6 +264,7 @@ int run_server(const Args& args) {
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  transfer_drain.join();
   server.stop();
   const auto stats = server.stats();
   if (!args.stats_file.empty()) {
@@ -191,6 +301,108 @@ bool bump_counter(const std::string& path) {
   return static_cast<bool>(out);
 }
 
+// Percentile over a sorted vector (nearest-rank on the scaled index).
+double percentile_us(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return static_cast<double>(sorted[idx]);
+}
+
+// Transfer workload: --rounds messages of --bytes each, spread over
+// --concurrency streams, each measured as one send_sync round trip
+// (fragmentation + loss recovery + transport ack). This is the live twin of
+// the sim's lossy-WAN transfer benches (bench_fig12/fig14).
+int run_transfer(const Args& args, mocha::live::Endpoint& endpoint) {
+  const int concurrency = std::max(1, args.concurrency);
+  // Generous per-message deadline: the full backed-off retry schedule.
+  const std::int64_t timeout_us = endpoint.retry_schedule_us() + 2'000'000;
+
+  std::vector<std::int64_t> latencies_us;
+  latencies_us.reserve(args.rounds);
+  std::uint64_t failures = 0;
+  std::mutex mu;
+  std::atomic<std::uint64_t> next_round{0};
+
+  const std::int64_t t_start = mocha::live::Clock::monotonic().now_us();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      mocha::util::Buffer payload(args.bytes);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(w);
+      while (next_round.fetch_add(1) < args.rounds && !g_stop) {
+        const std::int64_t t0 = mocha::live::Clock::monotonic().now_us();
+        const mocha::util::Status status = endpoint.send_sync(
+            kServerNode, kTransferPort, payload, timeout_us);
+        const std::int64_t dt = mocha::live::Clock::monotonic().now_us() - t0;
+        std::lock_guard<std::mutex> lock(mu);
+        if (status.is_ok()) {
+          latencies_us.push_back(dt);
+        } else {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const std::int64_t elapsed_us =
+      mocha::live::Clock::monotonic().now_us() - t_start;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile_us(latencies_us, 0.50);
+  const double p99 = percentile_us(latencies_us, 0.99);
+  double sum = 0;
+  for (std::int64_t v : latencies_us) sum += static_cast<double>(v);
+  const double mean = latencies_us.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(latencies_us.size());
+  const double goodput_kbps =
+      elapsed_us > 0 ? static_cast<double>(latencies_us.size()) *
+                           static_cast<double>(args.bytes) * 8'000.0 /
+                           static_cast<double>(elapsed_us)
+                     : 0.0;
+
+  if (!args.quiet) {
+    std::printf(
+        "client %u: %zu/%llu transfers of %llu B in %.1f ms | p50 %.0f us  "
+        "p99 %.0f us  mean %.0f us | %.0f kbit/s | %llu retransmissions  "
+        "%llu nacks-recv  %llu acks-piggybacked\n",
+        args.site, latencies_us.size(),
+        static_cast<unsigned long long>(args.rounds),
+        static_cast<unsigned long long>(args.bytes),
+        static_cast<double>(elapsed_us) / 1000.0, p50, p99, mean,
+        goodput_kbps,
+        static_cast<unsigned long long>(endpoint.retransmissions()),
+        static_cast<unsigned long long>(endpoint.nacks_received()),
+        static_cast<unsigned long long>(endpoint.acks_piggybacked()));
+  }
+  if (!args.bench_json_dir.empty()) {
+    std::vector<mocha::util::Metric> metrics = {
+        {"p50_latency", p50, "us"},
+        {"p99_latency", p99, "us"},
+        {"mean_latency", mean, "us"},
+        {"goodput", goodput_kbps, "kbit/s"},
+        {"retransmissions",
+         static_cast<double>(endpoint.retransmissions()), "count"},
+        {"nacks_received",
+         static_cast<double>(endpoint.nacks_received()), "count"},
+        {"failures", static_cast<double>(failures), "count"},
+    };
+    if (args.baseline_p99_us > 0) {
+      metrics.push_back({"baseline_p99_latency",
+                         static_cast<double>(args.baseline_p99_us), "us"});
+      metrics.push_back(
+          {"p99_speedup_vs_fixed_rto",
+           p99 > 0 ? static_cast<double>(args.baseline_p99_us) / p99 : 0.0,
+           "x"});
+    }
+    mocha::util::write_bench_json(args.bench_name, metrics,
+                                  args.bench_json_dir);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run_client(const Args& args) {
   const auto colon = args.server_addr.rfind(':');
   if (colon == std::string::npos) {
@@ -202,8 +414,10 @@ int run_client(const Args& args) {
       std::strtoul(args.server_addr.c_str() + colon + 1, nullptr, 10));
 
   mocha::live::Endpoint endpoint(args.site,
-                                 static_cast<std::uint16_t>(args.port));
+                                 static_cast<std::uint16_t>(args.port),
+                                 make_endpoint_options(args));
   endpoint.add_peer(kServerNode, host, server_port);
+  if (args.transfer) return run_transfer(args, endpoint);
   mocha::live::LockClient client(endpoint, kServerNode);
   client.register_lock(args.lock);
 
