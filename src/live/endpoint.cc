@@ -9,7 +9,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <system_error>
 
@@ -86,7 +85,7 @@ Endpoint::~Endpoint() {
   if (io_thread_.joinable()) io_thread_.join();
   // Unblock any receiver still parked in recv(); messages are dropped.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (auto& [port, queue] : delivered_) queue->cv.notify_all();
     for (auto& [key, out] : outstanding_) {
       out->failed = true;
@@ -137,24 +136,24 @@ void Endpoint::add_peer(net::NodeId peer, const std::string& host,
         reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
     ::freeaddrinfo(result);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   peer_state(peer).addr = addr;
 }
 
 bool Endpoint::knows_peer(net::NodeId peer) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return peers_.contains(peer);
 }
 
 std::int64_t Endpoint::peer_rto_us(net::NodeId peer) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = peers_.find(peer);
   if (it == peers_.end()) return 0;
   return opts_.adaptive_rto ? it->second.rtt.rto_us() : opts_.rto_us;
 }
 
 std::int64_t Endpoint::peer_srtt_us(net::NodeId peer) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = peers_.find(peer);
   return it == peers_.end() ? 0 : it->second.rtt.srtt_us();
 }
@@ -190,7 +189,7 @@ util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
                                  std::int64_t timeout_us) {
   std::shared_ptr<Outstanding> out;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto peer_it = peers_.find(dst);
     if (peer_it == peers_.end()) {
       throw std::logic_error("live::Endpoint: unknown peer node " +
@@ -247,21 +246,21 @@ util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
 
   if (timeout_us <= 0) return util::Status::ok();  // asynchronous send
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_us);
-  ack_cv_.wait_until(lock, deadline,
-                     [&] { return out->acked || out->failed; });
+  while (!out->acked && !out->failed) {
+    if (!ack_cv_.wait_until(mu_, deadline)) break;  // timeout
+  }
   if (out->acked) return util::Status::ok();
   return util::Status(util::StatusCode::kTimeout,
                       "no transport ack from node " + std::to_string(dst));
 }
 
 Endpoint::Message Endpoint::recv(net::Port port) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   PortQueue& queue = port_queue(port);
-  queue.cv.wait(lock,
-                [&] { return !queue.messages.empty() || !running_.load(); });
+  while (queue.messages.empty() && running_.load()) queue.cv.wait(mu_);
   if (queue.messages.empty()) {
     throw std::runtime_error("live::Endpoint: shut down while receiving");
   }
@@ -272,14 +271,14 @@ Endpoint::Message Endpoint::recv(net::Port port) {
 
 std::optional<Endpoint::Message> Endpoint::recv_for(net::Port port,
                                                     std::int64_t timeout_us) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   PortQueue& queue = port_queue(port);
   if (timeout_us > 0) {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(timeout_us);
-    queue.cv.wait_until(lock, deadline, [&] {
-      return !queue.messages.empty() || !running_.load();
-    });
+    while (queue.messages.empty() && running_.load()) {
+      if (!queue.cv.wait_until(mu_, deadline)) break;  // timeout
+    }
   }
   if (queue.messages.empty()) return std::nullopt;
   Message msg = std::move(queue.messages.front());
@@ -302,7 +301,7 @@ void Endpoint::queue_tx(const sockaddr_in& addr, util::Buffer datagram) {
 void Endpoint::flush_tx() {
   std::vector<TxItem> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (tx_queue_.empty()) return;
     batch.swap(tx_queue_);
   }
@@ -312,9 +311,8 @@ void Endpoint::flush_tx() {
   constexpr std::size_t kBatch = 64;
   for (std::size_t base = 0; base < batch.size(); base += kBatch) {
     const std::size_t n = std::min(kBatch, batch.size() - base);
-    mmsghdr msgs[kBatch];
-    iovec iovs[kBatch];
-    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    mmsghdr msgs[kBatch] = {};
+    iovec iovs[kBatch] = {};
     for (std::size_t i = 0; i < n; ++i) {
       TxItem& item = batch[base + i];
       iovs[i].iov_base = item.datagram.data();
@@ -344,17 +342,15 @@ void Endpoint::wake_io_thread() {
 void Endpoint::io_loop() {
   std::vector<std::uint8_t> buf(opts_.mtu + 1);
   while (running_.load()) {
-    std::int64_t timeout_ms;
+    std::int64_t timeout_ms = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       const std::int64_t deadline = next_deadline_us();
       const std::int64_t now = clock_->now_us();
       timeout_ms = deadline <= now ? 0 : (deadline - now + 999) / 1000;
     }
 
-    pollfd fds[2];
-    fds[0] = {sock_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    pollfd fds[2] = {{sock_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, static_cast<int>(timeout_ms));
     if (ready < 0 && errno != EINTR) break;
 
@@ -428,7 +424,7 @@ void Endpoint::update_gap_skip(net::NodeId src, std::int64_t now_us) {
 }
 
 void Endpoint::fire_timers(std::int64_t now_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   bool notified = false;
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     std::shared_ptr<Outstanding>& out = it->second;
@@ -628,7 +624,7 @@ void Endpoint::process_datagram(const std::uint8_t* data, std::size_t len,
     {
       // Learn (or refresh) the sender's address — this is how the server
       // side discovers clients it never configured.
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       PeerState& peer = peer_state(src);
       if (!same_addr(peer.addr, from)) peer.addr = from;
     }
@@ -639,7 +635,7 @@ void Endpoint::process_datagram(const std::uint8_t* data, std::size_t len,
       case net::FrameType::kDataAck: {
         const net::DataFrame frame = net::decode_data_ack_frame(reader);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           const std::int64_t now = clock_->now_us();
           for (std::uint64_t acked : frame.acks) {
             handle_ack_seq(src, acked, now);
@@ -650,13 +646,13 @@ void Endpoint::process_datagram(const std::uint8_t* data, std::size_t len,
       }
       case net::FrameType::kAck: {
         const std::uint64_t seq = net::decode_ack_frame(reader).seq;
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         handle_ack_seq(src, seq, clock_->now_us());
         break;
       }
       case net::FrameType::kNack: {
         const net::NackFrame nack = net::decode_nack_frame(reader);
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ++nacks_received_;
         auto it = outstanding_.find({src, nack.seq});
         if (it == outstanding_.end()) break;
@@ -699,7 +695,7 @@ void Endpoint::handle_ack_seq(net::NodeId src, std::uint64_t seq,
 }
 
 void Endpoint::handle_data(net::NodeId src, const net::DataFrame& frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::int64_t now = clock_->now_us();
   auto [in_it, unused] = next_seq_in_.try_emplace(src, 1);
   const MsgKey key{src, frame.seq};

@@ -46,13 +46,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -64,8 +62,10 @@
 #include "live/clock.h"
 #include "net/frame.h"
 #include "net/types.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mocha::live {
 
@@ -141,25 +141,28 @@ class Endpoint {
   // Registers (or updates) the UDP address of `peer`. `host` is an IPv4
   // dotted quad ("127.0.0.1") or a hostname.
   void add_peer(net::NodeId peer, const std::string& host,
-                std::uint16_t port);
-  bool knows_peer(net::NodeId peer) const;
+                std::uint16_t port) EXCLUDES(mu_);
+  bool knows_peer(net::NodeId peer) const EXCLUDES(mu_);
 
   // Reliable, sequenced send. Returns after fragmentation + first
   // transmission; delivery is guaranteed by background retransmission while
   // the peer lives. Throws std::logic_error when `dst` was never registered
   // or learned.
-  void send(net::NodeId dst, net::Port port, util::Buffer payload);
+  void send(net::NodeId dst, net::Port port, util::Buffer payload)
+      EXCLUDES(mu_);
 
   // Like send(), but waits for the peer's transport ACK; kTimeout when the
   // message is still unacknowledged after `timeout_us` (the live failure-
   // detection primitive, mirroring the sim endpoint).
   util::Status send_sync(net::NodeId dst, net::Port port,
-                         util::Buffer payload, std::int64_t timeout_us);
+                         util::Buffer payload, std::int64_t timeout_us)
+      EXCLUDES(mu_);
 
   // Blocking receive of the next message addressed to `port`.
-  Message recv(net::Port port);
+  Message recv(net::Port port) EXCLUDES(mu_);
   // Timed receive; 0 polls without blocking.
-  std::optional<Message> recv_for(net::Port port, std::int64_t timeout_us);
+  std::optional<Message> recv_for(net::Port port, std::int64_t timeout_us)
+      EXCLUDES(mu_);
 
   // Worst-case duration of this endpoint's own full backed-off retransmit
   // schedule (initial send + max_retries resends) — the horizon after which
@@ -169,8 +172,8 @@ class Endpoint {
   // --- Introspection (tests / benches) ---
   // Current RTO / smoothed RTT for `peer`; 0 when the peer is unknown
   // (srtt additionally 0 before the first sample).
-  std::int64_t peer_rto_us(net::NodeId peer) const;
-  std::int64_t peer_srtt_us(net::NodeId peer) const;
+  std::int64_t peer_rto_us(net::NodeId peer) const EXCLUDES(mu_);
+  std::int64_t peer_srtt_us(net::NodeId peer) const EXCLUDES(mu_);
 
   // --- Statistics ---
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -204,9 +207,13 @@ class Endpoint {
     std::int64_t ack_deadline_us = 0;  // 0 = no ack pending
   };
 
+  // Members of the nested helper structs below (Outstanding, PortQueue,
+  // Reassembly, …) are all touched with mu_ held; the capability expression
+  // cannot name the owning Endpoint's mutex from a nested scope, so the
+  // GUARDED_BY annotations live on the containers that hold them instead.
   struct PortQueue {
     std::deque<Message> messages;
-    std::condition_variable cv;
+    util::CondVar cv;
   };
 
   // One partially reassembled inbound message + its NACK bookkeeping.
@@ -230,40 +237,43 @@ class Endpoint {
     sockaddr_in from{};
   };
 
-  void io_loop();
+  void io_loop() EXCLUDES(mu_);
   // Netem front door: loss/delay/bandwidth emulation, then process.
   void handle_datagram(const std::uint8_t* data, std::size_t len,
-                       const sockaddr_in& from);
+                       const sockaddr_in& from) EXCLUDES(mu_);
   // Actual protocol processing of one datagram (takes mu_ internally).
   void process_datagram(const std::uint8_t* data, std::size_t len,
-                        const sockaddr_in& from);
-  void handle_data(net::NodeId src, const net::DataFrame& frame);
+                        const sockaddr_in& from) EXCLUDES(mu_);
+  void handle_data(net::NodeId src, const net::DataFrame& frame)
+      EXCLUDES(mu_);
   void handle_ack_seq(net::NodeId src, std::uint64_t seq,
-                      std::int64_t now_us);  // mu_ held
-  void fire_timers(std::int64_t now_us);
-  void release_netem(std::int64_t now_us);  // io thread only
-  std::int64_t next_deadline_us();  // mu_ held
-  void deliver_in_order(net::NodeId src);   // mu_ held
-  // (Re)arms or clears the gap-skip timer for `src` (mu_ held).
-  void update_gap_skip(net::NodeId src, std::int64_t now_us);
-  bool has_stashed(net::NodeId src) const;  // mu_ held
+                      std::int64_t now_us) REQUIRES(mu_);
+  void fire_timers(std::int64_t now_us) EXCLUDES(mu_);
+  void release_netem(std::int64_t now_us) EXCLUDES(mu_);  // io thread only
+  std::int64_t next_deadline_us() REQUIRES(mu_);
+  void deliver_in_order(net::NodeId src) REQUIRES(mu_);
+  // (Re)arms or clears the gap-skip timer for `src`.
+  void update_gap_skip(net::NodeId src, std::int64_t now_us) REQUIRES(mu_);
+  bool has_stashed(net::NodeId src) const REQUIRES(mu_);
   // Queues a delayed transport ack (piggybacked or flushed later).
   void enqueue_ack(net::NodeId dst, std::uint64_t seq,
-                   std::int64_t now_us);  // mu_ held
+                   std::int64_t now_us) REQUIRES(mu_);
   // Emits standalone ACK frames for every peer whose ack delay expired.
-  void flush_due_acks(std::int64_t now_us);  // mu_ held
+  void flush_due_acks(std::int64_t now_us) REQUIRES(mu_);
   // Takes up to max_piggyback_acks pending acks for `peer` that fit next to
   // a chunk of `chunk_len` bytes inside the MTU.
   std::vector<std::uint64_t> take_piggyback_acks(PeerState& peer,
-                                                 std::size_t chunk_len);
-  // mu_ held: looks up or creates the peer slot (estimator params set).
-  PeerState& peer_state(net::NodeId peer);
-  // Queues one datagram for the next flush_tx (mu_ held).
-  void queue_tx(const sockaddr_in& addr, util::Buffer datagram);
+                                                 std::size_t chunk_len)
+      REQUIRES(mu_);
+  // Looks up or creates the peer slot (estimator params set).
+  PeerState& peer_state(net::NodeId peer) REQUIRES(mu_);
+  // Queues one datagram for the next flush_tx.
+  void queue_tx(const sockaddr_in& addr, util::Buffer datagram)
+      REQUIRES(mu_);
   // Sends everything queued, in one sendmmsg batch per destination-run.
-  void flush_tx();
+  void flush_tx() EXCLUDES(mu_);
   void wake_io_thread();
-  PortQueue& port_queue(net::Port port);  // mu_ held
+  PortQueue& port_queue(net::Port port) REQUIRES(mu_);
 
   net::NodeId node_;
   EndpointOptions opts_;
@@ -276,23 +286,26 @@ class Endpoint {
   std::atomic<bool> running_{false};
   std::thread io_thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable ack_cv_;  // send_sync waiters
-  std::map<net::NodeId, PeerState> peers_;
-  std::map<net::NodeId, std::uint64_t> next_seq_out_;
-  std::map<MsgKey, std::shared_ptr<Outstanding>> outstanding_;
-  std::map<MsgKey, Reassembly> reassembly_;
-  std::map<net::NodeId, std::uint64_t> next_seq_in_;
-  std::map<MsgKey, Message> stashed_;  // complete but out of order
-  std::map<net::NodeId, GapSkip> gap_skips_;
-  std::map<net::Port, std::unique_ptr<PortQueue>> delivered_;
+  mutable util::Mutex mu_;
+  util::CondVar ack_cv_;  // send_sync waiters
+  std::map<net::NodeId, PeerState> peers_ GUARDED_BY(mu_);
+  std::map<net::NodeId, std::uint64_t> next_seq_out_ GUARDED_BY(mu_);
+  std::map<MsgKey, std::shared_ptr<Outstanding>> outstanding_
+      GUARDED_BY(mu_);
+  std::map<MsgKey, Reassembly> reassembly_ GUARDED_BY(mu_);
+  std::map<net::NodeId, std::uint64_t> next_seq_in_ GUARDED_BY(mu_);
+  // Complete but out of order.
+  std::map<MsgKey, Message> stashed_ GUARDED_BY(mu_);
+  std::map<net::NodeId, GapSkip> gap_skips_ GUARDED_BY(mu_);
+  std::map<net::Port, std::unique_ptr<PortQueue>> delivered_
+      GUARDED_BY(mu_);
 
   // Outbound datagrams accumulated under mu_, flushed in batches.
   struct TxItem {
     sockaddr_in addr{};
     util::Buffer datagram;
   };
-  std::vector<TxItem> tx_queue_;
+  std::vector<TxItem> tx_queue_ GUARDED_BY(mu_);
 
   // Netem state — io thread only, no lock.
   std::deque<DelayedDatagram> netem_queue_;

@@ -25,12 +25,12 @@ void LockServer::stop() {
 }
 
 LockServer::Stats LockServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 bool LockServer::is_blacklisted(std::uint32_t site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return blacklist_.contains(site);
 }
 
@@ -68,7 +68,7 @@ void LockServer::handle(Endpoint::Message msg) {
         LockState& lock = locks_[reg.lock_id];
         lock.id = reg.lock_id;
         lock.holders.insert(reg.site);
-        std::lock_guard<std::mutex> guard(mu_);
+        util::MutexLock guard(mu_);
         ++stats_.registrations;
         break;
       }
@@ -97,7 +97,12 @@ void LockServer::handle_acquire(util::WireReader& reader) {
   req.mode = msg.mode;
   req.nonce = msg.nonce;
 
-  if (blacklist_.contains(req.site)) {
+  bool rejected = false;
+  {
+    util::MutexLock guard(mu_);
+    rejected = blacklist_.contains(req.site);
+  }
+  if (rejected) {
     // §4: a thread whose lock was broken is prevented from future requests.
     send_grant(req, 0, GrantFlag::kRejected, {});
     return;
@@ -147,7 +152,7 @@ void LockServer::activate(LockState& lock, Request req) {
              current ? GrantFlag::kVersionOk : GrantFlag::kNeedNewVersion,
              lock.holders);
   lock.active.push_back(std::move(req));
-  std::lock_guard<std::mutex> guard(mu_);
+  util::MutexLock guard(mu_);
   ++stats_.grants;
 }
 
@@ -176,9 +181,16 @@ void LockServer::handle_release(util::WireReader& reader) {
       [&](const Request& r) { return r.site == msg.site; });
   if (active_it != lock.active.end()) {
     lock.active.erase(active_it);
-  } else if (!lock.active.empty() || blacklist_.contains(msg.site)) {
-    // Stale release — e.g. from an owner whose lock was already broken.
-    return;
+  } else {
+    bool blacklisted = false;
+    {
+      util::MutexLock guard(mu_);
+      blacklisted = blacklist_.contains(msg.site);
+    }
+    if (!lock.active.empty() || blacklisted) {
+      // Stale release — e.g. from an owner whose lock was already broken.
+      return;
+    }
   }
 
   if (msg.mode == LockWireMode::kExclusive) {
@@ -191,7 +203,7 @@ void LockServer::handle_release(util::WireReader& reader) {
     lock.up_to_date.insert(msg.site);
   }
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    util::MutexLock guard(mu_);
     ++stats_.releases;
   }
   grant_from_queue(lock);
@@ -211,11 +223,11 @@ void LockServer::scan_leases() {
       // expired lease breaks the lock directly.
       const Request dead = owner;
       lock.active.erase(lock.active.begin() + static_cast<std::ptrdiff_t>(i));
-      blacklist_.insert(dead.site);
       lock.holders.erase(dead.site);
       lock.up_to_date.erase(dead.site);
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        util::MutexLock guard(mu_);
+        blacklist_.insert(dead.site);
         ++stats_.locks_broken;
       }
       MOCHA_INFO("live") << "lock " << id << " broken: site " << dead.site

@@ -23,6 +23,8 @@
 
 #include "live/endpoint.h"
 #include "replica/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mocha::live {
 
@@ -53,8 +55,8 @@ class LockServer {
   void start();
   void stop();
 
-  Stats stats() const;
-  bool is_blacklisted(std::uint32_t site) const;
+  Stats stats() const EXCLUDES(mu_);
+  bool is_blacklisted(std::uint32_t site) const EXCLUDES(mu_);
 
  private:
   struct Request {
@@ -82,28 +84,32 @@ class LockServer {
     }
   };
 
-  void loop();
-  void handle(Endpoint::Message msg);
-  void handle_acquire(util::WireReader& reader);
-  void handle_release(util::WireReader& reader);
-  void grant_from_queue(LockState& lock);
-  void activate(LockState& lock, Request req);
+  void loop() EXCLUDES(mu_);
+  void handle(Endpoint::Message msg) EXCLUDES(mu_);
+  void handle_acquire(util::WireReader& reader) EXCLUDES(mu_);
+  void handle_release(util::WireReader& reader) EXCLUDES(mu_);
+  void grant_from_queue(LockState& lock) EXCLUDES(mu_);
+  void activate(LockState& lock, Request req) EXCLUDES(mu_);
   void send_grant(const Request& req, replica::Version version,
                   replica::GrantFlag flag,
                   const std::set<std::uint32_t>& holders);
-  void scan_leases();
+  void scan_leases() EXCLUDES(mu_);
 
   Endpoint& endpoint_;
   LockServerOptions opts_;
   std::atomic<bool> running_{false};
   std::thread serve_thread_;
 
-  // Owned by the serve thread while it runs; stats copied out under mu_.
+  // Owned exclusively by the serve thread while it runs (never touched from
+  // other threads, so no capability guards it; the thread join in stop() is
+  // the only synchronization it needs).
   std::map<replica::LockId, LockState> locks_;
-  std::set<std::uint32_t> blacklist_;
 
-  mutable std::mutex mu_;
-  Stats stats_;
+  mutable util::Mutex mu_;
+  // Cross-thread observable state: the serve thread publishes, stats() /
+  // is_blacklisted() read from arbitrary threads.
+  std::set<std::uint32_t> blacklist_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mocha::live

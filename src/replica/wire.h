@@ -54,7 +54,7 @@ enum MsgType : std::uint8_t {
   kRefreshCached = 20,
   kRefreshReply = 21,
   // sync -> application thread (grant port)
-  kGrant = 20,
+  kGrant = 22,
 };
 
 // GRANT flags (paper Fig 5: VERSIONOK / NEEDNEWVERSION, plus the §4

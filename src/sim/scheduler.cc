@@ -56,8 +56,8 @@ ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
 void Scheduler::start_process_thread(detail::Process* p) {
   p->thread = std::thread([this, p] {
     {
-      std::unique_lock<std::mutex> lock(handoff_mutex_);
-      p->cv.wait(lock, [p] { return p->run_granted; });
+      util::MutexLock lock(handoff_mutex_);
+      while (!p->run_granted) p->cv.wait(handoff_mutex_);
       p->run_granted = false;
     }
     tls_scheduler = this;
@@ -74,7 +74,7 @@ void Scheduler::start_process_thread(detail::Process* p) {
                            << "' died with exception: " << e.what();
       }
     }
-    std::unique_lock<std::mutex> lock(handoff_mutex_);
+    util::MutexLock lock(handoff_mutex_);
     p->state = detail::ProcessState::kDone;
     running_ = nullptr;
     control_with_scheduler_ = true;
@@ -84,23 +84,23 @@ void Scheduler::start_process_thread(detail::Process* p) {
 
 void Scheduler::switch_to(detail::Process* p) {
   assert(p->state != detail::ProcessState::kDone);
-  std::unique_lock<std::mutex> lock(handoff_mutex_);
+  util::MutexLock lock(handoff_mutex_);
   assert(control_with_scheduler_);
   control_with_scheduler_ = false;
   p->run_granted = true;
   p->cv.notify_one();
-  scheduler_cv_.wait(lock, [this] { return control_with_scheduler_; });
+  while (!control_with_scheduler_) scheduler_cv_.wait(handoff_mutex_);
 }
 
 void Scheduler::block_current() {
   detail::Process* p = tls_process;
   assert(p != nullptr && "blocking primitive called outside a process");
-  std::unique_lock<std::mutex> lock(handoff_mutex_);
+  util::MutexLock lock(handoff_mutex_);
   p->state = detail::ProcessState::kBlocked;
   running_ = nullptr;
   control_with_scheduler_ = true;
   scheduler_cv_.notify_one();
-  p->cv.wait(lock, [p] { return p->run_granted; });
+  while (!p->run_granted) p->cv.wait(handoff_mutex_);
   p->run_granted = false;
   p->state = detail::ProcessState::kRunning;
   running_ = p;

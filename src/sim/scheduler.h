@@ -19,17 +19,18 @@
 // process bodies must let that exception propagate.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mocha::sim {
 
@@ -58,13 +59,19 @@ enum class ProcessState { kCreated, kBlocked, kRunning, kDone };
 
 // A simulated process. Internal to the scheduler; applications only see the
 // ProcessId handle.
+//
+// `run_granted` is guarded by Scheduler::handoff_mutex_ — a nested type
+// cannot name the owning scheduler's capability in a GUARDED_BY expression,
+// so the discipline is enforced at the Scheduler functions that touch it
+// (all hold the handoff lock). The remaining fields are protected by the
+// control-token handoff itself, not by any lock.
 struct Process {
   std::uint64_t id = 0;
   std::string name;
   std::function<void()> body;
   ProcessState state = ProcessState::kCreated;
   bool run_granted = false;  // guarded by Scheduler::handoff_mutex_
-  std::condition_variable cv;
+  util::CondVar cv;
   std::thread thread;
 };
 
@@ -143,11 +150,11 @@ class Scheduler {
 
   // Transfers control to `p` and blocks the scheduler thread until `p` blocks
   // or finishes.
-  void switch_to(detail::Process* p);
+  void switch_to(detail::Process* p) EXCLUDES(handoff_mutex_);
 
   // Called from a process thread: returns control to the scheduler and blocks
   // until re-granted. Throws SimulationShutdown when torn down.
-  void block_current();
+  void block_current() EXCLUDES(handoff_mutex_);
 
   // Schedules a wake event for `p` at now() (after already-queued same-time
   // events).
@@ -167,9 +174,11 @@ class Scheduler {
   // Handoff machinery: exactly one of {scheduler, some process} holds the
   // "control token". All state above is only touched by the token holder, so
   // it needs no locking; the mutex below serializes the token transfer itself.
-  std::mutex handoff_mutex_;
-  std::condition_variable scheduler_cv_;
-  bool control_with_scheduler_ = true;
+  util::Mutex handoff_mutex_;
+  util::CondVar scheduler_cv_;
+  bool control_with_scheduler_ GUARDED_BY(handoff_mutex_) = true;
+  // Written by the token holder during handoff; read lock-free by
+  // current_process_name() under the token discipline.
   detail::Process* running_ = nullptr;
 };
 

@@ -2,14 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mocha::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
-std::function<std::uint64_t()>& time_source() {
+// Serializes sink writes and guards the installed time source. The time
+// source is read on every emitted line and swapped by the simulation
+// Scheduler around its lifetime, from different threads.
+Mutex g_mutex;
+
+// Meyers singleton so a Scheduler constructed before this TU's globals can
+// still install itself; the returned reference is only touched under
+// g_mutex.
+std::function<std::uint64_t()>& time_source() REQUIRES(g_mutex) {
   static std::function<std::uint64_t()> source;
   return source;
 }
@@ -36,14 +45,14 @@ void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel Log::level() { return static_cast<LogLevel>(g_level.load()); }
 
 void Log::set_time_source(std::function<std::uint64_t()> source) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   time_source() = std::move(source);
 }
 
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (!enabled(level)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::uint64_t t = time_source() ? time_source()() : 0;
   std::fprintf(stderr, "[%10.3fms] %s %.*s: %.*s\n",
                static_cast<double>(t) / 1000.0, level_tag(level),

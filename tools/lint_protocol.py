@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Wire-protocol coverage lint.
+
+Parses the two wire enums straight out of the source text —
+
+  * ``net::FrameType``    in  src/net/frame.h
+  * ``replica::MsgType``  in  src/replica/wire.h
+
+— and fails if the enum and the code that speaks it have drifted apart:
+
+  1. enumerator values must be unique within each enum (two enumerators
+     sharing a value alias on the wire; this bites only when the messages
+     later share a port),
+  2. every FrameType enumerator must be dispatched (``case FrameType::kX``)
+     by BOTH transport backends — src/net/mochanet.cc and
+     src/live/endpoint.cc — and exercised by name in
+     tests/frame_conformance_test.cc,
+  3. every MsgType enumerator must have at least one producer
+     (``writer.u8(kX)``) and at least one consumer (``case kX`` or a
+     ``reader.u8() ==/!= kX`` comparison) somewhere under src/,
+  4. every MsgType enumerator with a typed codec in wire.h (the lock
+     protocol messages) must be exercised by name in
+     tests/frame_conformance_test.cc.
+
+Run with ``--self-test`` to prove the lint still catches violations: it
+re-runs every check against deliberately broken in-memory copies of the
+sources and fails if any expected finding is missed.
+
+Exit status: 0 clean, 1 findings, 2 parse/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FRAME_HEADER = "src/net/frame.h"
+WIRE_HEADER = "src/replica/wire.h"
+CONFORMANCE_TEST = "tests/frame_conformance_test.cc"
+# Both transport backends must dispatch every frame type.
+FRAME_DISPATCHERS = ["src/net/mochanet.cc", "src/live/endpoint.cc"]
+
+
+class ParseError(Exception):
+    pass
+
+
+def parse_enum(text: str, enum_name: str) -> list[tuple[str, int]]:
+    """Returns the (name, value) pairs of ``enum [class] <enum_name>``."""
+    match = re.search(
+        rf"enum\s+(?:class\s+)?{enum_name}\s*:\s*[\w:]+\s*\{{(.*?)\}};",
+        text,
+        re.DOTALL,
+    )
+    if match is None:
+        raise ParseError(f"enum {enum_name} not found")
+    body = re.sub(r"//[^\n]*", "", match.group(1))
+    entries: list[tuple[str, int]] = []
+    next_value = 0
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        m = re.fullmatch(r"(k\w+)(?:\s*=\s*(\d+))?", item)
+        if m is None:
+            raise ParseError(f"unparseable {enum_name} enumerator: {item!r}")
+        value = int(m.group(2)) if m.group(2) is not None else next_value
+        entries.append((m.group(1), value))
+        next_value = value + 1
+    if not entries:
+        raise ParseError(f"enum {enum_name} has no enumerators")
+    return entries
+
+
+def check_unique_values(
+    enum_name: str, entries: list[tuple[str, int]], findings: list[str]
+) -> None:
+    by_value: dict[int, list[str]] = {}
+    for name, value in entries:
+        by_value.setdefault(value, []).append(name)
+    for value, names in sorted(by_value.items()):
+        if len(names) > 1:
+            findings.append(
+                f"{enum_name}: value {value} assigned to multiple "
+                f"enumerators: {', '.join(names)}"
+            )
+
+
+def check_frame_types(files: dict[str, str], findings: list[str]) -> None:
+    entries = parse_enum(files[FRAME_HEADER], "FrameType")
+    check_unique_values("FrameType", entries, findings)
+    for name, _ in entries:
+        for dispatcher in FRAME_DISPATCHERS:
+            if not re.search(
+                rf"case\s+(?:net::)?FrameType::{name}\b", files[dispatcher]
+            ):
+                # A frame type one backend emits but the other drops on the
+                # floor is a silent interop break.
+                findings.append(
+                    f"FrameType::{name} is not dispatched "
+                    f"(no `case FrameType::{name}`) in {dispatcher}"
+                )
+        if not re.search(rf"FrameType::{name}\b", files[CONFORMANCE_TEST]):
+            findings.append(
+                f"FrameType::{name} is not exercised in {CONFORMANCE_TEST}"
+            )
+
+
+def check_msg_types(files: dict[str, str], findings: list[str]) -> None:
+    entries = parse_enum(files[WIRE_HEADER], "MsgType")
+    check_unique_values("MsgType", entries, findings)
+    src_files = {
+        path: text for path, text in files.items() if path.startswith("src/")
+    }
+    for name, _ in entries:
+        producer = rf"\.u8\(\s*(?:\w+::)?{name}\s*\)"
+        consumer = (
+            rf"case\s+(?:\w+::)?{name}\b"
+            rf"|u8\(\)\s*[!=]=\s*(?:\w+::)?{name}\b"
+        )
+        if not any(re.search(producer, text) for text in src_files.values()):
+            findings.append(
+                f"MsgType {name} has no producer "
+                f"(`writer.u8({name})`) under src/"
+            )
+        if not any(re.search(consumer, text) for text in src_files.values()):
+            findings.append(
+                f"MsgType {name} has no consumer "
+                f"(`case {name}` or `reader.u8() == {name}`) under src/"
+            )
+    # Messages with a typed codec (encode() in wire.h itself) are the lock
+    # protocol; their round-trips must be covered by the conformance test.
+    for name, _ in entries:
+        if re.search(rf"\.u8\(\s*{name}\s*\)", files[WIRE_HEADER]):
+            if not re.search(rf"\b{name}\b", files[CONFORMANCE_TEST]):
+                findings.append(
+                    f"MsgType {name} has a typed codec in {WIRE_HEADER} but "
+                    f"is not exercised in {CONFORMANCE_TEST}"
+                )
+
+
+def run_lint(files: dict[str, str]) -> list[str]:
+    findings: list[str] = []
+    check_frame_types(files, findings)
+    check_msg_types(files, findings)
+    return findings
+
+
+def load_files() -> dict[str, str]:
+    files: dict[str, str] = {}
+    for pattern in ("src/**/*.h", "src/**/*.cc"):
+        for path in sorted(REPO_ROOT.glob(pattern)):
+            files[path.relative_to(REPO_ROOT).as_posix()] = path.read_text()
+    test_path = REPO_ROOT / CONFORMANCE_TEST
+    files[CONFORMANCE_TEST] = test_path.read_text()
+    for required in [FRAME_HEADER, WIRE_HEADER] + FRAME_DISPATCHERS:
+        if required not in files:
+            raise ParseError(f"required file missing: {required}")
+    return files
+
+
+def mutate(files: dict[str, str], path: str, old: str, new: str) -> dict[str, str]:
+    if old not in files[path]:
+        raise ParseError(f"self-test anchor {old!r} not found in {path}")
+    patched = dict(files)
+    patched[path] = files[path].replace(old, new, 1)
+    return patched
+
+
+def self_test(files: dict[str, str]) -> int:
+    """Negative tests: the lint must flag deliberately broken trees."""
+    failures: list[str] = []
+
+    clean = run_lint(files)
+    if clean:
+        failures.append(
+            "expected the real tree to be clean, got: " + "; ".join(clean)
+        )
+
+    # An undispatched frame type must be flagged in both backends and the
+    # conformance test: three findings.
+    broken = mutate(files, FRAME_HEADER, "kDataAck = 3", "kDataAck = 3,\n  kBogus = 9")
+    found = run_lint(broken)
+    if sum("kBogus" in f for f in found) != 3:
+        failures.append(f"undispatched FrameType not fully flagged: {found}")
+
+    # A duplicated enum value must be flagged (this caught a real
+    # kGrant/kRefreshCached collision at value 20).
+    broken = mutate(files, WIRE_HEADER, "kGrant = 22", "kGrant = 20")
+    found = run_lint(broken)
+    if not any("value 20" in f and "kGrant" in f for f in found):
+        failures.append(f"duplicate MsgType value not flagged: {found}")
+
+    # A message nobody encodes or decodes must be flagged twice.
+    broken = mutate(files, WIRE_HEADER, "kGrant = 22", "kGrant = 22,\n  kOrphan = 23")
+    found = run_lint(broken)
+    if sum("kOrphan" in f for f in found) != 2:
+        failures.append(f"orphan MsgType not fully flagged: {found}")
+
+    # Removing a dispatcher case must be flagged for that backend.
+    broken = mutate(
+        files, "src/net/mochanet.cc", "case FrameType::kNack", "case kNackGone"
+    )
+    found = run_lint(broken)
+    if not any("kNack" in f and "mochanet.cc" in f for f in found):
+        failures.append(f"missing dispatcher case not flagged: {found}")
+
+    if failures:
+        for failure in failures:
+            print(f"lint_protocol self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("lint_protocol self-test passed")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the lint catches violations (negative test)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        files = load_files()
+        if args.self_test:
+            return self_test(files)
+        findings = run_lint(files)
+    except ParseError as err:
+        print(f"lint_protocol: parse error: {err}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(f"lint_protocol: {finding}", file=sys.stderr)
+    if findings:
+        print(f"lint_protocol: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_protocol: protocol coverage clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -57,8 +57,14 @@
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
-void on_signal(int) { g_stop = 1; }
+// Written by the signal handler on whichever thread the signal lands on,
+// read by worker threads (transfer drain, client round loops): needs to be
+// an honest-to-TSan atomic, not volatile sig_atomic_t — volatile only
+// covers handler-to-same-thread visibility. A lock-free std::atomic is
+// async-signal-safe.
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+void on_signal(int) { g_stop.store(1, std::memory_order_relaxed); }
 
 // The server is site/node 1 by convention (the home site).
 constexpr mocha::net::NodeId kServerNode = 1;
