@@ -1,0 +1,252 @@
+#include "live/daemon.h"
+
+#include "util/log.h"
+
+namespace mocha::live {
+
+using replica::LockId;
+using replica::Version;
+
+util::Buffer marshal_bundle(
+    const std::vector<std::string>& names,
+    const std::map<std::string, util::Buffer>& contents) {
+  util::Buffer bundle;
+  util::WireWriter writer(bundle);
+  writer.u32(static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    writer.str(name);
+    auto it = contents.find(name);
+    writer.bytes(it != contents.end() ? it->second : util::Buffer{});
+  }
+  return bundle;
+}
+
+DaemonService::DaemonService(Endpoint& endpoint) : endpoint_(endpoint) {}
+
+DaemonService::~DaemonService() { stop(); }
+
+void DaemonService::start() {
+  if (running_.exchange(true)) return;
+  control_thread_ = std::thread([this] { control_loop(); });
+  data_thread_ = std::thread([this] { data_loop(); });
+}
+
+void DaemonService::stop() {
+  if (!running_.exchange(false)) return;
+  if (control_thread_.joinable()) control_thread_.join();
+  if (data_thread_.joinable()) data_thread_.join();
+}
+
+DaemonService::LockReplicas& DaemonService::lock_replicas(LockId lock_id) {
+  return locks_[lock_id];
+}
+
+void DaemonService::register_replica(LockId lock_id, const std::string& name,
+                                     util::Buffer initial) {
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  if (!lk.contents.contains(name)) lk.names.push_back(name);
+  lk.contents[name] = std::move(initial);
+}
+
+void DaemonService::write(LockId lock_id, const std::string& name,
+                          util::Buffer contents) {
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  if (!lk.contents.contains(name)) lk.names.push_back(name);
+  lk.contents[name] = std::move(contents);
+}
+
+util::Buffer DaemonService::read(LockId lock_id,
+                                 const std::string& name) const {
+  util::MutexLock lock(mu_);
+  auto lk = locks_.find(lock_id);
+  if (lk == locks_.end()) return {};
+  auto it = lk->second.contents.find(name);
+  return it == lk->second.contents.end() ? util::Buffer{} : it->second;
+}
+
+void DaemonService::publish(LockId lock_id, Version version) {
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  if (version > lk.version) lk.version = version;
+  version_cv_.notify_all();
+}
+
+Version DaemonService::local_version(LockId lock_id) const {
+  util::MutexLock lock(mu_);
+  auto it = locks_.find(lock_id);
+  return it == locks_.end() ? 0 : it->second.version;
+}
+
+util::Status DaemonService::wait_for_version(LockId lock_id, Version target,
+                                             std::int64_t timeout_us) {
+  const std::int64_t deadline = Clock::monotonic().now_us() + timeout_us;
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  while (lk.version < target) {
+    const std::int64_t now = Clock::monotonic().now_us();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout,
+                          "lock " + std::to_string(lock_id) + ": version " +
+                              std::to_string(target) +
+                              " not received (local " +
+                              std::to_string(lk.version) + ")");
+    }
+    version_cv_.wait_for_us(mu_, deadline - now);
+  }
+  return util::Status::ok();
+}
+
+util::Status DaemonService::wait_for_apply(LockId lock_id,
+                                           std::uint64_t applied_before,
+                                           std::int64_t timeout_us) {
+  const std::int64_t deadline = Clock::monotonic().now_us() + timeout_us;
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  while (lk.applied <= applied_before) {
+    const std::int64_t now = Clock::monotonic().now_us();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout,
+                          "lock " + std::to_string(lock_id) +
+                              ": no replica bundle arrived");
+    }
+    version_cv_.wait_for_us(mu_, deadline - now);
+  }
+  return util::Status::ok();
+}
+
+std::uint64_t DaemonService::transfers_applied(LockId lock_id) const {
+  util::MutexLock lock(mu_);
+  auto it = locks_.find(lock_id);
+  return it == locks_.end() ? 0 : it->second.applied;
+}
+
+DaemonService::Stats DaemonService::stats() const {
+  util::MutexLock lock(mu_);
+  return stats_;
+}
+
+void DaemonService::control_loop() {
+  while (running_.load()) {
+    auto msg = endpoint_.recv_for(replica::kDaemonPort, 100'000);
+    if (!msg.has_value()) continue;
+    try {
+      util::WireReader reader(msg->payload);
+      switch (reader.u8()) {
+        case replica::kTransferReplica:
+          handle_directive(msg->src, reader);
+          break;
+        case replica::kPollVersion: {
+          const auto poll = replica::PollVersionMsg::decode(reader);
+          util::Buffer report;
+          replica::VersionReportMsg{poll.lock_id, endpoint_.node(),
+                                    local_version(poll.lock_id)}
+              .encode(report);
+          endpoint_.send(msg->src, poll.reply_port, std::move(report));
+          util::MutexLock lock(mu_);
+          ++stats_.polls_answered;
+          break;
+        }
+        case replica::kHeartbeat:
+          // Liveness is proven by the transport-level ack the prober waits
+          // on; nothing to do here.
+          break;
+        default:
+          break;
+      }
+    } catch (const util::CodecError& err) {
+      MOCHA_DEBUG("live") << "daemon " << endpoint_.node()
+                          << ": dropping malformed control message from node "
+                          << msg->src << ": " << err.what();
+    }
+  }
+}
+
+void DaemonService::handle_directive(net::NodeId src,
+                                     util::WireReader& reader) {
+  const auto directive = replica::TransferReplicaMsg::decode(reader);
+
+  util::Buffer bundle;
+  Version version = 0;
+  {
+    util::MutexLock lock(mu_);
+    LockReplicas& lk = lock_replicas(directive.lock_id);
+    bundle = marshal_bundle(lk.names, lk.contents);
+    // Stamp what this daemon actually holds, not what the directive claims:
+    // a redirected pull (home-daemon retry) may legitimately serve an older
+    // version, and the receiver's stale-drop check needs the truth.
+    version = lk.version;
+  }
+
+  util::Buffer data;
+  util::WireWriter writer(data);
+  writer.u32(directive.lock_id);
+  writer.u64(version);
+  writer.raw(bundle);
+
+  // Count before sending: once the bundle is on the wire the puller may
+  // observe it (and read our stats) before this thread runs again.
+  {
+    util::MutexLock lock(mu_);
+    ++stats_.transfers_served;
+  }
+  try {
+    // The directive's envelope taught the endpoint the puller's address, so
+    // dst_site is sendable even if this daemon never configured it.
+    endpoint_.send(directive.dst_site, directive.dst_port, std::move(data));
+  } catch (const std::logic_error&) {
+    util::MutexLock lock(mu_);
+    --stats_.transfers_served;
+    MOCHA_WARN("live") << "daemon " << endpoint_.node()
+                       << ": cannot serve transfer of lock "
+                       << directive.lock_id << " to unknown site "
+                       << directive.dst_site << " (directive from node "
+                       << src << ")";
+  }
+}
+
+void DaemonService::data_loop() {
+  while (running_.load()) {
+    auto msg = endpoint_.recv_for(replica::kDaemonDataPort, 100'000);
+    if (!msg.has_value()) continue;
+    try {
+      util::WireReader reader(msg->payload);
+      apply_bundle(msg->src, reader);
+    } catch (const util::CodecError& err) {
+      MOCHA_DEBUG("live") << "daemon " << endpoint_.node()
+                          << ": dropping malformed bundle from node "
+                          << msg->src << ": " << err.what();
+    }
+  }
+}
+
+void DaemonService::apply_bundle(net::NodeId src, util::WireReader& reader) {
+  const LockId lock_id = reader.u32();
+  const Version version = reader.u64();
+  const std::uint32_t count = reader.u32();
+
+  util::MutexLock lock(mu_);
+  LockReplicas& lk = lock_replicas(lock_id);
+  if (version < lk.version) {
+    // A duplicate or a straggler from an earlier cycle; applying it would
+    // roll contents back behind what the lock protocol promised.
+    ++stats_.stale_drops;
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = reader.str();
+    util::Buffer payload = reader.bytes();
+    if (!lk.contents.contains(name)) lk.names.push_back(name);
+    lk.contents[name] = std::move(payload);
+  }
+  lk.version = version;
+  ++lk.applied;
+  ++stats_.transfers_applied;
+  version_cv_.notify_all();
+  MOCHA_DEBUG("live") << "daemon " << endpoint_.node() << ": applied lock "
+                      << lock_id << " version " << version << " from node "
+                      << src;
+}
+
+}  // namespace mocha::live

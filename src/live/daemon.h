@@ -1,0 +1,128 @@
+// live::DaemonService — the per-site replica daemon over real sockets.
+//
+// The wall-clock twin of replica::SiteReplicaRuntime's daemon threads: it
+// owns the local copies of the replicas grouped under each lock and moves
+// them between daemons with the exact §6 wire messages the sim uses —
+// kTransferReplica directives on replica::kDaemonPort, raw replica bundles
+// (u32 lock | u64 version | bundle) on replica::kDaemonDataPort. Bundles are
+// fragmented by live::Endpoint, so the adaptive-RTO/NACK fast path covers
+// replica data too.
+//
+// Transfers are pull-based in the live runtime: the client that received a
+// NEED_NEW_VERSION grant sends the transfer directive to the last owner's
+// daemon itself (see live::LockClient), instead of the sync thread doing it
+// as in the sim. The serving daemon learns the puller's UDP address from the
+// directive's datagram envelope, so no prior peer configuration is needed in
+// that direction.
+//
+// Threading: two background threads (control + data) own the ports; the
+// replica store is mutex-guarded and safe to use from any thread. The
+// version/applied condition variable is what LockClient::acquire() blocks on
+// while a promised transfer is in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/endpoint.h"
+#include "replica/wire.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace mocha::live {
+
+class DaemonService {
+ public:
+  struct Stats {
+    std::uint64_t transfers_served = 0;   // outbound bundles sent
+    std::uint64_t transfers_applied = 0;  // inbound bundles applied
+    std::uint64_t stale_drops = 0;        // inbound bundles older than local
+    std::uint64_t polls_answered = 0;
+  };
+
+  explicit DaemonService(Endpoint& endpoint);
+  ~DaemonService();
+
+  DaemonService(const DaemonService&) = delete;
+  DaemonService& operator=(const DaemonService&) = delete;
+
+  // Starts / stops the control and data threads. stop() is idempotent.
+  void start();
+  void stop();
+
+  // --- Replica store (application side; hold the lock while writing) ---
+  // Registers `name` under `lock_id` with its initial contents. Replicas
+  // transfer as a bundle: every name registered under the lock moves when
+  // the lock's replica is transferred (paper §3: one lock per object or per
+  // group of objects).
+  void register_replica(replica::LockId lock_id, const std::string& name,
+                        util::Buffer initial) EXCLUDES(mu_);
+  void write(replica::LockId lock_id, const std::string& name,
+             util::Buffer contents) EXCLUDES(mu_);
+  // Copy of the current contents (empty when unknown).
+  util::Buffer read(replica::LockId lock_id, const std::string& name) const
+      EXCLUDES(mu_);
+
+  // Stamps the lock's local replica version — called by the writer after its
+  // writes, before the lock release publishes `version` to the server, so a
+  // later pull finds contents and version consistent.
+  void publish(replica::LockId lock_id, replica::Version version)
+      EXCLUDES(mu_);
+  replica::Version local_version(replica::LockId lock_id) const EXCLUDES(mu_);
+
+  // Blocks until the local version of `lock_id` reaches `target` (transfer
+  // applied, or a local publish); kTimeout after `timeout_us`.
+  util::Status wait_for_version(replica::LockId lock_id,
+                                replica::Version target,
+                                std::int64_t timeout_us) EXCLUDES(mu_);
+  // Weakened-consistency wait (§4): succeeds when *any* bundle has been
+  // applied to `lock_id` since the caller sampled transfers_applied() —
+  // used by the home-daemon retry, where an older version is acceptable.
+  util::Status wait_for_apply(replica::LockId lock_id,
+                              std::uint64_t applied_before,
+                              std::int64_t timeout_us) EXCLUDES(mu_);
+  std::uint64_t transfers_applied(replica::LockId lock_id) const
+      EXCLUDES(mu_);
+
+  Stats stats() const EXCLUDES(mu_);
+
+ private:
+  // All replicas guarded by one lock move as one bundle.
+  struct LockReplicas {
+    replica::Version version = 0;
+    std::uint64_t applied = 0;  // bundles applied to this lock
+    std::vector<std::string> names;  // registration order = bundle order
+    std::map<std::string, util::Buffer> contents;
+  };
+
+  void control_loop() EXCLUDES(mu_);
+  void data_loop() EXCLUDES(mu_);
+  void handle_directive(net::NodeId src, util::WireReader& reader)
+      EXCLUDES(mu_);
+  void apply_bundle(net::NodeId src, util::WireReader& reader) EXCLUDES(mu_);
+  LockReplicas& lock_replicas(replica::LockId lock_id) REQUIRES(mu_);
+
+  Endpoint& endpoint_;
+  std::atomic<bool> running_{false};
+  std::thread control_thread_;
+  std::thread data_thread_;
+
+  mutable util::Mutex mu_;
+  util::CondVar version_cv_;  // signaled on publish / bundle apply
+  std::map<replica::LockId, LockReplicas> locks_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+// Marshals / unmarshals the replica bundle that follows the
+// `u32 lock | u64 version` header on the data port — the same
+// `u32 n (str name, bytes payload)…` layout the sim daemon uses, factored
+// out so tests can build bundles directly.
+util::Buffer marshal_bundle(const std::vector<std::string>& names,
+                            const std::map<std::string, util::Buffer>& contents);
+
+}  // namespace mocha::live

@@ -49,6 +49,16 @@ Endpoint::Endpoint(net::NodeId node, std::uint16_t udp_port,
   if (sock_ < 0) {
     throw std::system_error(errno, std::generic_category(), "socket");
   }
+  if (opts_.socket_buffer_bytes > 0) {
+    // Best effort (the kernel clamps to net.core.{r,w}mem_max): fragment
+    // bursts from bulk replica transfers must not overflow the default rmem.
+    (void)::setsockopt(sock_, SOL_SOCKET, SO_RCVBUF,
+                       &opts_.socket_buffer_bytes,
+                       sizeof(opts_.socket_buffer_bytes));
+    (void)::setsockopt(sock_, SOL_SOCKET, SO_SNDBUF,
+                       &opts_.socket_buffer_bytes,
+                       sizeof(opts_.socket_buffer_bytes));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
@@ -143,6 +153,15 @@ void Endpoint::add_peer(net::NodeId peer, const std::string& host,
 bool Endpoint::knows_peer(net::NodeId peer) const {
   util::MutexLock lock(mu_);
   return peers_.contains(peer);
+}
+
+std::optional<Endpoint::PeerAddr> Endpoint::peer_addr(
+    net::NodeId peer) const {
+  util::MutexLock lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.addr.sin_port == 0) return std::nullopt;
+  return PeerAddr{it->second.addr.sin_addr.s_addr,
+                  ntohs(it->second.addr.sin_port)};
 }
 
 std::int64_t Endpoint::peer_rto_us(net::NodeId peer) const {
@@ -255,6 +274,19 @@ util::Status Endpoint::send_sync(net::NodeId dst, net::Port port,
   if (out->acked) return util::Status::ok();
   return util::Status(util::StatusCode::kTimeout,
                       "no transport ack from node " + std::to_string(dst));
+}
+
+bool Endpoint::flush(std::int64_t timeout_us) {
+  util::MutexLock lock(mu_);
+  const std::int64_t deadline = clock_->now_us() + timeout_us;
+  while (!outstanding_.empty()) {
+    const std::int64_t now = clock_->now_us();
+    if (now >= deadline) return false;
+    // Capped wait: the io loop can erase acked entries without signaling
+    // ack_cv_, so poll instead of trusting the notify alone.
+    ack_cv_.wait_for_us(mu_, std::min<std::int64_t>(deadline - now, 10'000));
+  }
+  return true;
 }
 
 Endpoint::Message Endpoint::recv(net::Port port) {

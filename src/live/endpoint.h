@@ -102,6 +102,13 @@ struct EndpointOptions {
   // Io-loop heartbeat when no retransmit timer is pending.
   std::int64_t idle_poll_us = 100'000;
 
+  // Kernel socket buffer request (SO_RCVBUF + SO_SNDBUF). Replica bundles
+  // arrive as one fragment burst — 256 KiB is ~190 back-to-back datagrams,
+  // which overflows Linux's default ~208 KiB rmem and shows up as loopback
+  // "loss" the NACK path then has to repair. Best effort: the kernel clamps
+  // the request to net.core.{r,w}mem_max. 0 keeps the system default.
+  int socket_buffer_bytes = 4 << 20;
+
   // --- Test/bench-only inbound network emulation (netem) ---
   // Applied to every received datagram before protocol processing, in the
   // endpoint's own recv path (no root / tc needed): random loss, fixed
@@ -144,6 +151,16 @@ class Endpoint {
                 std::uint16_t port) EXCLUDES(mu_);
   bool knows_peer(net::NodeId peer) const EXCLUDES(mu_);
 
+  // UDP address of `peer` as currently known — configured via add_peer() or
+  // learned from the datagram envelope. ipv4 is in network byte order, port
+  // in host order. nullopt when the peer was never registered or heard from.
+  // The lock server answers kResolveNode queries from this table.
+  struct PeerAddr {
+    std::uint32_t ipv4 = 0;
+    std::uint16_t port = 0;
+  };
+  std::optional<PeerAddr> peer_addr(net::NodeId peer) const EXCLUDES(mu_);
+
   // Reliable, sequenced send. Returns after fragmentation + first
   // transmission; delivery is guaranteed by background retransmission while
   // the peer lives. Throws std::logic_error when `dst` was never registered
@@ -157,6 +174,13 @@ class Endpoint {
   util::Status send_sync(net::NodeId dst, net::Port port,
                          util::Buffer payload, std::int64_t timeout_us)
       EXCLUDES(mu_);
+
+  // Blocks until every reliably-sent message has been acked or has exhausted
+  // its retries — the pre-exit linger: a process that fire-and-forgets its
+  // last message (e.g. a lock RELEASE) must not destroy the endpoint while
+  // the retransmit timer still owns delivery. True when the send window
+  // drained within `timeout_us`.
+  bool flush(std::int64_t timeout_us) EXCLUDES(mu_);
 
   // Blocking receive of the next message addressed to `port`.
   Message recv(net::Port port) EXCLUDES(mu_);

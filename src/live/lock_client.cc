@@ -1,16 +1,22 @@
 #include "live/lock_client.h"
 
+#include <arpa/inet.h>
+
+#include "util/log.h"
+
 namespace mocha::live {
 
 using replica::GrantFlag;
 using replica::LockWireMode;
 
 LockClient::LockClient(Endpoint& endpoint, net::NodeId server,
-                       LockClientOptions opts)
+                       LockClientOptions opts, DaemonService* daemon)
     : endpoint_(endpoint),
       server_(server),
       opts_(opts),
-      clock_(&Clock::monotonic()) {}
+      daemon_(daemon),
+      clock_(&Clock::monotonic()),
+      next_port_(opts.reply_port_base) {}
 
 LockClient::LockLocal& LockClient::local(replica::LockId lock_id) {
   auto it = locks_.find(lock_id);
@@ -27,6 +33,90 @@ void LockClient::register_lock(replica::LockId lock_id) {
   util::Buffer msg;
   replica::RegisterLockMsg{lock_id, endpoint_.node()}.encode(msg);
   endpoint_.send(server_, replica::kSyncPort, std::move(msg));
+}
+
+bool LockClient::ensure_peer(net::NodeId node, net::Port reply_port,
+                             std::int64_t timeout_us) {
+  if (endpoint_.knows_peer(node)) return true;
+  util::Buffer query;
+  replica::ResolveNodeMsg{node, reply_port}.encode(query);
+  endpoint_.send(server_, replica::kSyncPort, std::move(query));
+
+  const std::int64_t deadline = clock_->now_us() + timeout_us;
+  while (true) {
+    const std::int64_t now = clock_->now_us();
+    if (now >= deadline) return false;
+    auto reply = endpoint_.recv_for(reply_port, deadline - now);
+    if (!reply.has_value()) continue;
+    util::WireReader reader(reply->payload);
+    if (reader.u8() != replica::kNodeAddr) continue;
+    const auto addr = replica::NodeAddrMsg::decode(reader);
+    if (addr.node != node) continue;
+    if (addr.known == 0) return false;
+    in_addr ip{};
+    ip.s_addr = addr.ipv4;  // already network byte order
+    char quad[INET_ADDRSTRLEN] = {};
+    if (::inet_ntop(AF_INET, &ip, quad, sizeof(quad)) == nullptr) return false;
+    endpoint_.add_peer(node, quad, addr.udp_port);
+    return true;
+  }
+}
+
+void LockClient::send_pull_directive(net::NodeId owner,
+                                     replica::LockId lock_id,
+                                     replica::Version version) {
+  replica::TransferReplicaMsg directive;
+  directive.lock_id = lock_id;
+  directive.version = version;
+  directive.dst_site = endpoint_.node();
+  directive.dst_port = replica::kDaemonDataPort;
+  util::Buffer msg;
+  directive.encode(msg);
+  endpoint_.send(owner, replica::kDaemonPort, std::move(msg));
+}
+
+util::Status LockClient::pull_replica(replica::LockId lock_id,
+                                      const LockLocal& lk,
+                                      const replica::GrantMsg& grant) {
+  const replica::Version target = grant.version;
+  if (daemon_->local_version(lock_id) >= target) {
+    // lastLockOwner in effect: the newest bundle is already here (a
+    // previous hold, or a push that raced the grant). Zero data frames.
+    return util::Status::ok();
+  }
+
+  const net::NodeId owner = grant.transfer_from;
+  if (owner != 0 && owner != endpoint_.node() &&
+      ensure_peer(owner, lk.grant_port, opts_.transfer_timeout_us)) {
+    send_pull_directive(owner, lock_id, target);
+    util::Status direct =
+        daemon_->wait_for_version(lock_id, target, opts_.transfer_timeout_us);
+    if (direct.is_ok()) {
+      ++transfers_pulled_;
+      return direct;
+    }
+  }
+
+  // §4 fallback: the owner's daemon is unreachable or its bundle never
+  // landed. Retry against the home daemon (the lock server's site),
+  // accepting whatever version it holds — possibly older than `target`
+  // (weakened consistency, mirroring the sim's poll-and-redirect).
+  ++transfer_retries_;
+  const std::uint64_t applied_before = daemon_->transfers_applied(lock_id);
+  send_pull_directive(server_, lock_id, target);
+  util::Status retried = daemon_->wait_for_apply(lock_id, applied_before,
+                                                 opts_.transfer_timeout_us);
+  if (retried.is_ok()) {
+    ++transfers_pulled_;
+    return retried;
+  }
+  ++transfer_timeouts_;
+  return util::Status(util::StatusCode::kTimeout,
+                      "lock " + std::to_string(lock_id) +
+                          ": promised replica transfer (version " +
+                          std::to_string(target) + " from site " +
+                          std::to_string(owner) +
+                          ") never arrived, home retry timed out");
 }
 
 util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
@@ -79,12 +169,23 @@ util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
           util::StatusCode::kRejected,
           "site is blacklisted after a broken lock (failed while owning)");
     }
-    // kVersionOk and kNeedNewVersion both end here: with no live replica
-    // daemon there is no data transfer to wait for — adopt the version.
+    last_grant_latency_us_ = clock_->now_us() - t_request;
+
+    if (grant.flag == GrantFlag::kNeedNewVersion && daemon_ != nullptr) {
+      util::Status pulled = pull_replica(lock_id, lk, grant);
+      if (!pulled.is_ok()) {
+        // Do NOT release: the server believes this site holds the lock and
+        // its lease breaker owns the cleanup (same as the sim's ReplicaLock
+        // on a data timeout). Releasing here would publish a version whose
+        // contents never arrived.
+        return pulled;
+      }
+    }
+    // kVersionOk (and transfer-less clients): adopt the version number so
+    // release arithmetic stays consistent across holders.
     lk.version = grant.version;
     lk.held = true;
     lk.shared = mode == LockWireMode::kShared;
-    last_grant_latency_us_ = clock_->now_us() - t_request;
     ++acquires_;
     return util::Status::ok();
   }
@@ -101,6 +202,11 @@ util::Status LockClient::release(replica::LockId lock_id) {
   lk.version = new_version;
   lk.held = false;
   lk.shared = false;
+
+  // Stamp the daemon before the RELEASE leaves: the server only grants the
+  // next requester after this message arrives, so any pull directed at this
+  // site's daemon finds contents and version already published.
+  if (daemon_ != nullptr) daemon_->publish(lock_id, new_version);
 
   replica::ReleaseLockMsg msg;
   msg.lock_id = lock_id;

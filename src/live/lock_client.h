@@ -1,12 +1,28 @@
 // live::LockClient — the application-thread side of the entry-consistency
 // lock protocol over real sockets (the wall-clock twin of
-// replica::ReplicaLock::lock()/unlock(), without the replica payload).
+// replica::ReplicaLock::lock()/unlock()).
 //
 // Speaks the exact kAcquireLock / kReleaseLock / kRegisterLock / kGrant
-// messages from replica/wire.h against a live::LockServer. Grants carrying
-// NEED_NEW_VERSION are accepted without a data transfer (no live daemon
-// yet); the client adopts the server's version number so version arithmetic
-// stays consistent across holders.
+// messages from replica/wire.h against a live::LockServer. When a
+// DaemonService is attached, a NEED_NEW_VERSION grant triggers a pull-based
+// replica transfer (paper §3: replicas are made consistent exactly when
+// their lock is acquired):
+//
+//   1. the grant names the last owner (GrantMsg.transfer_from);
+//   2. the client resolves that node's UDP address through the server
+//      (kResolveNode/kNodeAddr) if the endpoint has never heard from it;
+//   3. it sends the §6 kTransferReplica directive to the owner's daemon,
+//      which ships the replica bundle to this node's kDaemonDataPort;
+//   4. acquire() blocks until the daemon has applied the target version.
+//
+// If the promised transfer never arrives, the pull is retried once against
+// the home daemon (the lock server's site), accepting whatever version it
+// holds — the §4 weakened-consistency fallback. A second miss fails the
+// acquire with a typed kTimeout (the lock is NOT released locally: the
+// server's lease breaker owns cleanup, same as the sim).
+//
+// Without a daemon the old PR-1 behavior is preserved: the client adopts
+// the version number and no data moves.
 //
 // Not thread-safe: one LockClient serves one application thread, matching
 // the per-thread grant/data reply ports of the paper's design.
@@ -15,6 +31,7 @@
 #include <cstdint>
 #include <map>
 
+#include "live/daemon.h"
 #include "live/endpoint.h"
 #include "replica/wire.h"
 
@@ -23,39 +40,58 @@ namespace mocha::live {
 struct LockClientOptions {
   std::int64_t grant_timeout_us = 10'000'000;
   std::int64_t default_expected_hold_us = 500'000;
+  // Wait for a promised replica transfer before retrying / failing. Applied
+  // per attempt (direct pull, then home-daemon retry).
+  std::int64_t transfer_timeout_us = 2'000'000;
+  // First per-lock grant/data reply port (runtime::ports::kAppBase). Give
+  // each LockClient sharing one endpoint a disjoint range.
+  net::Port reply_port_base = 1000;
 };
 
 class LockClient {
  public:
   // `server` must already be a known peer of `endpoint` (add_peer). The
-  // client's site id on the wire is endpoint.node().
+  // client's site id on the wire is endpoint.node(). `daemon` (optional)
+  // is this process's replica daemon; without it NEED_NEW_VERSION grants
+  // only adopt the version number.
   LockClient(Endpoint& endpoint, net::NodeId server,
-             LockClientOptions opts = {});
+             LockClientOptions opts = {}, DaemonService* daemon = nullptr);
 
   // Registers this site as a holder of `lock_id` with the server
   // (fire-and-forget; acquire() also registers implicitly).
   void register_lock(replica::LockId lock_id);
 
-  // Acquires `lock_id`; blocks until the GRANT arrives. `expected_hold_us`
-  // feeds the server's lease-based failure detector; 0 uses the default.
+  // Acquires `lock_id`; blocks until the GRANT arrives and — for
+  // NEED_NEW_VERSION with an attached daemon — the replica transfer has
+  // been applied. `expected_hold_us` feeds the server's lease-based failure
+  // detector; 0 uses the default.
   // Errors: kRejected (this site was blacklisted after a broken lock),
-  // kTimeout (no grant within grant_timeout).
+  // kTimeout (no grant within grant_timeout, or the promised transfer never
+  // arrived after the home-daemon retry).
   util::Status acquire(
       replica::LockId lock_id,
       replica::LockWireMode mode = replica::LockWireMode::kExclusive,
       std::int64_t expected_hold_us = 0);
 
-  // Releases a held lock; exclusive releases publish version + 1.
+  // Releases a held lock; exclusive releases publish version + 1 (stamped
+  // into the attached daemon first, so later pulls see it).
   util::Status release(replica::LockId lock_id);
 
   bool held(replica::LockId lock_id) const;
   replica::Version version(replica::LockId lock_id) const;
 
-  // Request-to-GRANT latency of the most recent successful acquire().
+  // Request-to-GRANT latency of the most recent successful acquire()
+  // (excludes the transfer wait; acquire-with-transfer is wall-clocked by
+  // the caller).
   std::int64_t last_grant_latency_us() const { return last_grant_latency_us_; }
 
   std::uint64_t acquires() const { return acquires_; }
   std::uint64_t releases() const { return releases_; }
+  // Replica pulls completed on acquire / retried against the home daemon /
+  // failed outright (typed-timeout acquires).
+  std::uint64_t transfers_pulled() const { return transfers_pulled_; }
+  std::uint64_t transfer_retries() const { return transfer_retries_; }
+  std::uint64_t transfer_timeouts() const { return transfer_timeouts_; }
 
  private:
   struct LockLocal {
@@ -67,18 +103,30 @@ class LockClient {
   };
 
   LockLocal& local(replica::LockId lock_id);
+  // The NEED_NEW_VERSION pull path; see the file comment for the protocol.
+  util::Status pull_replica(replica::LockId lock_id, const LockLocal& lk,
+                            const replica::GrantMsg& grant);
+  // Makes `node` sendable, asking the server for its address if needed.
+  bool ensure_peer(net::NodeId node, net::Port reply_port,
+                   std::int64_t timeout_us);
+  void send_pull_directive(net::NodeId owner, replica::LockId lock_id,
+                           replica::Version version);
 
   Endpoint& endpoint_;
   net::NodeId server_;
   LockClientOptions opts_;
+  DaemonService* daemon_;
   Clock* clock_;
   std::map<replica::LockId, LockLocal> locks_;
   // Per-thread reply ports, mirroring runtime::ports::kAppBase.
-  net::Port next_port_ = 1000;
+  net::Port next_port_;
   std::uint64_t nonce_ = 0;
   std::int64_t last_grant_latency_us_ = 0;
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;
+  std::uint64_t transfers_pulled_ = 0;
+  std::uint64_t transfer_retries_ = 0;
+  std::uint64_t transfer_timeouts_ = 0;
 };
 
 }  // namespace mocha::live

@@ -72,6 +72,25 @@ void LockServer::handle(Endpoint::Message msg) {
         ++stats_.registrations;
         break;
       }
+      case replica::kResolveNode: {
+        // Peer discovery for direct daemon→daemon pulls: this endpoint has
+        // heard from every client (their acquires arrive here), so its peer
+        // table can introduce any two of them to each other.
+        const auto query = replica::ResolveNodeMsg::decode(reader);
+        replica::NodeAddrMsg answer;
+        answer.node = query.node;
+        if (auto addr = endpoint_.peer_addr(query.node); addr.has_value()) {
+          answer.ipv4 = addr->ipv4;
+          answer.udp_port = addr->port;
+          answer.known = 1;
+        }
+        util::Buffer reply;
+        answer.encode(reply);
+        endpoint_.send(msg.src, query.reply_port, std::move(reply));
+        util::MutexLock guard(mu_);
+        ++stats_.resolves;
+        break;
+      }
       default:
         // Sim-only traffic (replica registry, cached directory, …) is not
         // served by the live lock server yet.
@@ -143,14 +162,15 @@ void LockServer::activate(LockState& lock, Request req) {
 
   // Version 0 = no release yet, every holder still has initial contents.
   // Otherwise the up-to-date set decides whether the requester's copy is
-  // current. The live runtime has no replica-transfer daemon yet, so a
-  // NEED_NEW_VERSION grant is advisory (clients adopt the version number;
-  // no data follows).
+  // current — with UR=1 this degenerates to the paper's lastLockOwner check,
+  // and a current requester skips the transfer entirely. A NEED_NEW_VERSION
+  // grant names the last owner as transfer_from; the client pulls the
+  // replica bundle from that site's daemon.
   const bool current =
       lock.version == 0 || lock.up_to_date.contains(req.site);
   send_grant(req, lock.version,
              current ? GrantFlag::kVersionOk : GrantFlag::kNeedNewVersion,
-             lock.holders);
+             lock.holders, current ? 0 : lock.last_owner.value_or(0));
   lock.active.push_back(std::move(req));
   util::MutexLock guard(mu_);
   ++stats_.grants;
@@ -158,12 +178,14 @@ void LockServer::activate(LockState& lock, Request req) {
 
 void LockServer::send_grant(const Request& req, replica::Version version,
                             GrantFlag flag,
-                            const std::set<std::uint32_t>& holders) {
+                            const std::set<std::uint32_t>& holders,
+                            std::uint32_t transfer_from) {
   replica::GrantMsg grant;
   grant.lock_id = req.lock_id;
   grant.nonce = req.nonce;
   grant.version = version;
   grant.flag = flag;
+  grant.transfer_from = transfer_from;
   grant.holders.assign(holders.begin(), holders.end());
   util::Buffer msg;
   grant.encode(msg);

@@ -6,11 +6,17 @@
 // exact kAcquireLock / kReleaseLock / kRegisterLock / kGrant messages from
 // replica/wire.h on logical port replica::kSyncPort.
 //
+// NEED_NEW_VERSION grants name the last owner (GrantMsg.transfer_from); the
+// requesting client pulls the replica bundle from that site's daemon
+// directly (live::DaemonService), with the server additionally answering
+// kResolveNode address queries so two clients that have never exchanged a
+// datagram can find each other. Registered holders per lock are tracked as
+// groundwork for UR push.
+//
 // Not yet carried over from the sim service (see docs/PROTOCOL.md §8):
-// replica transfer directives (grants still report NEED_NEW_VERSION from the
-// up-to-date set, but no daemon exists to move state), version polling, and
-// the heartbeat confirm before a lease break — an expired lease breaks the
-// lock directly.
+// sync-directed transfers with poll-and-redirect on daemon failure, and the
+// heartbeat confirm before a lease break — an expired lease breaks the lock
+// directly.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +49,7 @@ class LockServer {
     std::uint64_t releases = 0;
     std::uint64_t locks_broken = 0;
     std::uint64_t registrations = 0;
+    std::uint64_t resolves = 0;  // kResolveNode address queries answered
   };
 
   LockServer(Endpoint& endpoint, LockServerOptions opts = {});
@@ -92,7 +99,8 @@ class LockServer {
   void activate(LockState& lock, Request req) EXCLUDES(mu_);
   void send_grant(const Request& req, replica::Version version,
                   replica::GrantFlag flag,
-                  const std::set<std::uint32_t>& holders);
+                  const std::set<std::uint32_t>& holders,
+                  std::uint32_t transfer_from = 0);
   void scan_leases() EXCLUDES(mu_);
 
   Endpoint& endpoint_;

@@ -85,15 +85,11 @@ void SiteReplicaRuntime::daemon_loop() {
         handle_transfer(reader);
         break;
       case kPollVersion: {
-        const LockId lock_id = reader.u32();
-        const net::Port reply_port = reader.u16();
+        const PollVersionMsg poll = PollVersionMsg::decode(reader);
         util::Buffer report;
-        util::WireWriter writer(report);
-        writer.u8(kVersionReport);
-        writer.u32(lock_id);
-        writer.u32(site_);
-        writer.u64(local_version(lock_id));
-        endpoint.send(msg.src, reply_port, std::move(report));
+        VersionReportMsg{poll.lock_id, site_, local_version(poll.lock_id)}
+            .encode(report);
+        endpoint.send(msg.src, poll.reply_port, std::move(report));
         break;
       }
       case kHeartbeat:
@@ -126,10 +122,11 @@ void SiteReplicaRuntime::daemon_loop() {
 }
 
 void SiteReplicaRuntime::handle_transfer(util::WireReader& reader) {
-  const LockId lock_id = reader.u32();
-  const Version version = reader.u64();
-  const runtime::SiteId dst_site = reader.u32();
-  const net::Port dst_port = reader.u16();
+  const TransferReplicaMsg directive = TransferReplicaMsg::decode(reader);
+  const LockId lock_id = directive.lock_id;
+  const Version version = directive.version;
+  const runtime::SiteId dst_site = directive.dst_site;
+  const net::Port dst_port = directive.dst_port;
 
   LockLocal& lk = lock_local(lock_id);
   util::Buffer bundle = marshal_bundle(lk);  // daemon pays the marshal cost

@@ -10,6 +10,7 @@ namespace mocha::replica {
 // The transport-neutral protocol constant and the simulated runtime's port
 // table must agree — both backends listen on this port.
 static_assert(kSyncPort == runtime::ports::kSync);
+static_assert(kDaemonPort == runtime::ports::kDaemon);
 
 SyncService::SyncService(ReplicaSystem& system, runtime::SiteId site)
     : system_(system), site_(site) {
@@ -266,7 +267,8 @@ void SyncService::activate(LockState& lock, Request req) {
   if (current) {
     send_grant(req, lock.version, GrantFlag::kVersionOk, holders);
   } else {
-    send_grant(req, lock.version, GrantFlag::kNeedNewVersion, holders);
+    send_grant(req, lock.version, GrantFlag::kNeedNewVersion, holders,
+               lock.last_owner.value_or(0));
   }
   lock.active.push_back(req);
   if (auto* tracer = system_.mocha().network().tracer()) {
@@ -281,12 +283,14 @@ void SyncService::activate(LockState& lock, Request req) {
 
 void SyncService::send_grant(const Request& req, Version version,
                              GrantFlag flag,
-                             const std::vector<runtime::SiteId>& holders) {
+                             const std::vector<runtime::SiteId>& holders,
+                             runtime::SiteId transfer_from) {
   GrantMsg grant;
   grant.lock_id = req.lock_id;
   grant.nonce = req.nonce;
   grant.version = version;
   grant.flag = flag;
+  grant.transfer_from = transfer_from;
   grant.holders.assign(holders.begin(), holders.end());
   util::Buffer msg;
   grant.encode(msg);
@@ -296,13 +300,13 @@ void SyncService::send_grant(const Request& req, Version version,
 util::Status SyncService::send_transfer_directive(const LockState& lock,
                                                   runtime::SiteId owner,
                                                   const Request& req) {
+  TransferReplicaMsg directive;
+  directive.lock_id = lock.id;
+  directive.version = lock.version;
+  directive.dst_site = req.site;
+  directive.dst_port = req.data_port;
   util::Buffer msg;
-  util::WireWriter writer(msg);
-  writer.u8(kTransferReplica);
-  writer.u32(lock.id);
-  writer.u64(lock.version);
-  writer.u32(req.site);
-  writer.u16(req.data_port);
+  directive.encode(msg);
   return endpoint_->send_sync(owner, runtime::ports::kDaemon, std::move(msg),
                               system_.options().transfer_timeout);
 }
@@ -334,10 +338,7 @@ void SyncService::poll_and_redirect(LockState& lock, const Request& req) {
   // Poll every registered daemon for the most recent version it holds.
   for (runtime::SiteId site : lock.holders) {
     util::Buffer poll;
-    util::WireWriter writer(poll);
-    writer.u8(kPollVersion);
-    writer.u32(lock.id);
-    writer.u16(runtime::ports::kSync);
+    PollVersionMsg{lock.id, runtime::ports::kSync}.encode(poll);
     endpoint_->send(site, runtime::ports::kDaemon, std::move(poll));
   }
 
@@ -350,11 +351,9 @@ void SyncService::poll_and_redirect(LockState& lock, const Request& req) {
     if (!msg.has_value()) break;
     util::WireReader reader(msg->payload);
     if (reader.u8() == kVersionReport) {
-      const LockId id = reader.u32();
-      const runtime::SiteId site = reader.u32();
-      const Version version = reader.u64();
-      if (id == lock.id) {
-        reports[site] = version;
+      const VersionReportMsg report = VersionReportMsg::decode(reader);
+      if (report.lock_id == lock.id) {
+        reports[report.site] = report.version;
         continue;
       }
     }

@@ -94,8 +94,11 @@ class SyncService {
   // run of shared requests behind it.
   void grant_from_queue(LockState& lock);
   void activate(LockState& lock, Request req);
+  // `transfer_from` names the site whose daemon will source the replica for
+  // a kNeedNewVersion grant (0 = none; live clients pull from it).
   void send_grant(const Request& req, Version version, GrantFlag flag,
-                  const std::vector<runtime::SiteId>& holders);
+                  const std::vector<runtime::SiteId>& holders,
+                  runtime::SiteId transfer_from = 0);
   // One TRANSFER_REPLICA directive to `owner`'s daemon for `req` (shared by
   // the grant path and the poll-redirect path).
   util::Status send_transfer_directive(const LockState& lock,

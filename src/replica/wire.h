@@ -23,6 +23,11 @@ using Version = std::uint64_t;
 // listens here too).
 constexpr net::Port kSyncPort = 30;
 
+// Replica daemon control port (transfer directives, version polls,
+// heartbeats), on every site; mirrored as runtime::ports::kDaemon for the
+// simulated runtime, listened on by live::DaemonService.
+constexpr net::Port kDaemonPort = 31;
+
 // Bulk replica updates use a dedicated port so BulkTransport control frames
 // never interleave with daemon control messages.
 constexpr net::Port kDaemonDataPort = 32;
@@ -55,6 +60,12 @@ enum MsgType : std::uint8_t {
   kRefreshReply = 21,
   // sync -> application thread (grant port)
   kGrant = 22,
+  // Live-runtime peer discovery (§8): a node that must pull a replica from a
+  // daemon it has never exchanged datagrams with asks the lock server (whose
+  // endpoint learned every client's UDP address from the datagram envelope)
+  // where that node lives.
+  kResolveNode = 23,
+  kNodeAddr = 24,
 };
 
 // GRANT flags (paper Fig 5: VERSIONOK / NEEDNEWVERSION, plus the §4
@@ -167,6 +178,9 @@ struct GrantMsg {
   std::uint64_t nonce = 0;
   Version version = 0;
   GrantFlag flag = GrantFlag::kVersionOk;
+  // Site whose daemon holds `version` (the last lock owner); 0 when unknown.
+  // With kNeedNewVersion the requester pulls the replica from this site.
+  std::uint32_t transfer_from = 0;
   std::vector<std::uint32_t> holders;  // registered replica-holder sites
 
   void encode(util::Buffer& out) const {
@@ -176,6 +190,7 @@ struct GrantMsg {
     writer.u64(nonce);
     writer.u64(version);
     writer.u8(static_cast<std::uint8_t>(flag));
+    writer.u32(transfer_from);
     writer.u32(static_cast<std::uint32_t>(holders.size()));
     for (std::uint32_t s : holders) writer.u32(s);
   }
@@ -185,9 +200,125 @@ struct GrantMsg {
     msg.nonce = reader.u64();
     msg.version = reader.u64();
     msg.flag = static_cast<GrantFlag>(reader.u8());
+    msg.transfer_from = reader.u32();
     const std::uint32_t n = reader.u32();
     msg.holders.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) msg.holders.push_back(reader.u32());
+    return msg;
+  }
+};
+
+// kTransferReplica: sync thread (sim) or pulling client (live) -> the daemon
+// holding the newest copy. Directs it to send lock_id's replica bundle to
+// (dst_site, dst_port) over the data path.
+struct TransferReplicaMsg {
+  LockId lock_id = 0;
+  Version version = 0;      // version the sender believes the daemon holds
+  std::uint32_t dst_site = 0;
+  net::Port dst_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kTransferReplica);
+    writer.u32(lock_id);
+    writer.u64(version);
+    writer.u32(dst_site);
+    writer.u16(dst_port);
+  }
+  static TransferReplicaMsg decode(util::WireReader& reader) {
+    TransferReplicaMsg msg;
+    msg.lock_id = reader.u32();
+    msg.version = reader.u64();
+    msg.dst_site = reader.u32();
+    msg.dst_port = reader.u16();
+    return msg;
+  }
+};
+
+// kPollVersion: sync thread -> daemon ("what version of lock_id do you
+// hold?"); answered with a kVersionReport to reply_port.
+struct PollVersionMsg {
+  LockId lock_id = 0;
+  net::Port reply_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kPollVersion);
+    writer.u32(lock_id);
+    writer.u16(reply_port);
+  }
+  static PollVersionMsg decode(util::WireReader& reader) {
+    PollVersionMsg msg;
+    msg.lock_id = reader.u32();
+    msg.reply_port = reader.u16();
+    return msg;
+  }
+};
+
+// kVersionReport: daemon -> sync thread, answer to kPollVersion.
+struct VersionReportMsg {
+  LockId lock_id = 0;
+  std::uint32_t site = 0;
+  Version version = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kVersionReport);
+    writer.u32(lock_id);
+    writer.u32(site);
+    writer.u64(version);
+  }
+  static VersionReportMsg decode(util::WireReader& reader) {
+    VersionReportMsg msg;
+    msg.lock_id = reader.u32();
+    msg.site = reader.u32();
+    msg.version = reader.u64();
+    return msg;
+  }
+};
+
+// kResolveNode: live client -> lock server ("what UDP address is node N?").
+struct ResolveNodeMsg {
+  std::uint32_t node = 0;
+  net::Port reply_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kResolveNode);
+    writer.u32(node);
+    writer.u16(reply_port);
+  }
+  static ResolveNodeMsg decode(util::WireReader& reader) {
+    ResolveNodeMsg msg;
+    msg.node = reader.u32();
+    msg.reply_port = reader.u16();
+    return msg;
+  }
+};
+
+// kNodeAddr: lock server -> live client, answer to kResolveNode. ipv4 is in
+// network byte order (as stored in sockaddr_in); known=0 means the server has
+// never heard from that node and ipv4/udp_port are meaningless.
+struct NodeAddrMsg {
+  std::uint32_t node = 0;
+  std::uint32_t ipv4 = 0;
+  std::uint16_t udp_port = 0;  // host byte order on the wire
+  std::uint8_t known = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kNodeAddr);
+    writer.u32(node);
+    writer.u32(ipv4);
+    writer.u16(udp_port);
+    writer.u8(known);
+  }
+  static NodeAddrMsg decode(util::WireReader& reader) {
+    NodeAddrMsg msg;
+    msg.node = reader.u32();
+    msg.ipv4 = reader.u32();
+    msg.udp_port = reader.u16();
+    msg.known = reader.u8();
     return msg;
   }
 };

@@ -208,6 +208,7 @@ TEST(LockWireCodec, GrantRoundTrip) {
   msg.nonce = 0xabcdef0102030405ull;
   msg.version = 77;
   msg.flag = replica::GrantFlag::kNeedNewVersion;
+  msg.transfer_from = 4;  // last owner: the site the requester pulls from
   msg.holders = {2, 3, 9};
 
   util::Buffer wire;
@@ -219,7 +220,88 @@ TEST(LockWireCodec, GrantRoundTrip) {
   EXPECT_EQ(decoded.nonce, msg.nonce);
   EXPECT_EQ(decoded.version, msg.version);
   EXPECT_EQ(decoded.flag, msg.flag);
+  EXPECT_EQ(decoded.transfer_from, msg.transfer_from);
   EXPECT_EQ(decoded.holders, msg.holders);
+}
+
+TEST(LockWireCodec, TransferReplicaRoundTrip) {
+  replica::TransferReplicaMsg msg;
+  msg.lock_id = 13;
+  msg.version = 0x0102030405060708ull;
+  msg.dst_site = 6;
+  msg.dst_port = replica::kDaemonDataPort;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kTransferReplica);
+  const auto decoded = replica::TransferReplicaMsg::decode(reader);
+  EXPECT_EQ(decoded.lock_id, msg.lock_id);
+  EXPECT_EQ(decoded.version, msg.version);
+  EXPECT_EQ(decoded.dst_site, msg.dst_site);
+  EXPECT_EQ(decoded.dst_port, msg.dst_port);
+}
+
+TEST(LockWireCodec, PollVersionRoundTrip) {
+  replica::PollVersionMsg msg;
+  msg.lock_id = 21;
+  msg.reply_port = replica::kSyncPort;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kPollVersion);
+  const auto decoded = replica::PollVersionMsg::decode(reader);
+  EXPECT_EQ(decoded.lock_id, msg.lock_id);
+  EXPECT_EQ(decoded.reply_port, msg.reply_port);
+}
+
+TEST(LockWireCodec, VersionReportRoundTrip) {
+  replica::VersionReportMsg msg;
+  msg.lock_id = 21;
+  msg.site = 4;
+  msg.version = 99;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kVersionReport);
+  const auto decoded = replica::VersionReportMsg::decode(reader);
+  EXPECT_EQ(decoded.lock_id, msg.lock_id);
+  EXPECT_EQ(decoded.site, msg.site);
+  EXPECT_EQ(decoded.version, msg.version);
+}
+
+TEST(LockWireCodec, ResolveNodeRoundTrip) {
+  replica::ResolveNodeMsg msg;
+  msg.node = 7;
+  msg.reply_port = 1003;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kResolveNode);
+  const auto decoded = replica::ResolveNodeMsg::decode(reader);
+  EXPECT_EQ(decoded.node, msg.node);
+  EXPECT_EQ(decoded.reply_port, msg.reply_port);
+}
+
+TEST(LockWireCodec, NodeAddrRoundTrip) {
+  replica::NodeAddrMsg msg;
+  msg.node = 7;
+  msg.ipv4 = 0x0100007f;  // 127.0.0.1 in network byte order
+  msg.udp_port = 54321;
+  msg.known = 1;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kNodeAddr);
+  const auto decoded = replica::NodeAddrMsg::decode(reader);
+  EXPECT_EQ(decoded.node, msg.node);
+  EXPECT_EQ(decoded.ipv4, msg.ipv4);
+  EXPECT_EQ(decoded.udp_port, msg.udp_port);
+  EXPECT_EQ(decoded.known, msg.known);
 }
 
 TEST(LockWireCodec, TruncatedLockMessagesThrow) {

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the live runtime CI lane.
+
+Compares candidate ``BENCH_*.json`` files (util::write_bench_json format:
+``{"name": ..., "metrics": [{"name", "value", "unit"}, ...]}``) against the
+committed baselines in ``bench/baselines/`` and fails when a watched
+latency metric regressed by more than the threshold.
+
+  check_bench.py --baseline-dir bench/baselines --candidate-dir build \\
+      --compare BENCH_live_wan.json:p50_latency,p99_latency \\
+      --compare BENCH_live_transfer.json:p99_acquire_1024 \\
+      [--max-regress-pct 15]
+
+All watched metrics are lower-is-better (latencies in microseconds): a
+candidate value above ``baseline * (1 + pct/100)`` is a regression.
+Improvements and in-budget deltas are reported but never fail the gate, so
+the baselines only need refreshing when the code actually gets faster.
+
+Run with ``--self-test`` to prove the gate still trips: it evaluates
+synthetic baseline/candidate pairs (clean, regressed, missing metric) and
+fails if any expected outcome is missed.
+
+Exit status: 0 within budget, 1 regression(s), 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+class GateError(Exception):
+    """Malformed input or comparison spec (exit 2, not a regression)."""
+
+
+def load_metrics(path: Path) -> dict[str, float]:
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise GateError(f"bench file missing: {path}")
+    except json.JSONDecodeError as err:
+        raise GateError(f"{path}: invalid JSON: {err}")
+    metrics = {}
+    for entry in doc.get("metrics", []):
+        metrics[entry["name"]] = float(entry["value"])
+    if not metrics:
+        raise GateError(f"{path}: no metrics")
+    return metrics
+
+
+def parse_compare(spec: str) -> tuple[str, list[str]]:
+    filename, sep, names = spec.partition(":")
+    metrics = [m for m in names.split(",") if m]
+    if not sep or not filename or not metrics:
+        raise GateError(
+            f"--compare spec {spec!r} must be FILE:metric[,metric...]"
+        )
+    return filename, metrics
+
+
+def compare_file(
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    filename: str,
+    metric_names: list[str],
+    max_regress_pct: float,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines) for one bench file."""
+    report: list[str] = []
+    regressions: list[str] = []
+    for name in metric_names:
+        if name not in baseline:
+            raise GateError(f"{filename}: metric {name!r} not in baseline")
+        if name not in candidate:
+            raise GateError(f"{filename}: metric {name!r} not in candidate")
+        base, cand = baseline[name], candidate[name]
+        if base <= 0:
+            raise GateError(f"{filename}: baseline {name} is {base}")
+        delta_pct = (cand - base) / base * 100.0
+        line = (
+            f"{filename}: {name} {base:.0f} -> {cand:.0f} "
+            f"({delta_pct:+.1f}%, budget +{max_regress_pct:.0f}%)"
+        )
+        report.append(line)
+        if delta_pct > max_regress_pct:
+            regressions.append(line)
+    return report, regressions
+
+
+def run_gate(
+    baseline_dir: Path,
+    candidate_dir: Path,
+    compares: list[tuple[str, list[str]]],
+    max_regress_pct: float,
+) -> int:
+    all_regressions: list[str] = []
+    for filename, metric_names in compares:
+        report, regressions = compare_file(
+            load_metrics(baseline_dir / filename),
+            load_metrics(candidate_dir / filename),
+            filename,
+            metric_names,
+            max_regress_pct,
+        )
+        for line in report:
+            print(f"check_bench: {line}")
+        all_regressions.extend(regressions)
+    if all_regressions:
+        for line in all_regressions:
+            print(f"check_bench: REGRESSION {line}", file=sys.stderr)
+        print(
+            f"check_bench: {len(all_regressions)} metric(s) over budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_bench: all metrics within budget")
+    return 0
+
+
+def self_test() -> int:
+    failures: list[str] = []
+    base = {"p99_latency": 1000.0, "p50_latency": 400.0}
+
+    # Within budget (+10% on a 15% budget) and an improvement: clean.
+    _, regressions = compare_file(
+        base, {"p99_latency": 1100.0, "p50_latency": 300.0},
+        "BENCH_x.json", ["p99_latency", "p50_latency"], 15.0)
+    if regressions:
+        failures.append(f"in-budget delta flagged: {regressions}")
+
+    # +20% on a 15% budget must trip exactly the regressed metric.
+    _, regressions = compare_file(
+        base, {"p99_latency": 1200.0, "p50_latency": 400.0},
+        "BENCH_x.json", ["p99_latency", "p50_latency"], 15.0)
+    if len(regressions) != 1 or "p99_latency" not in regressions[0]:
+        failures.append(f"+20% regression not flagged: {regressions}")
+
+    # A metric that vanished from the candidate is a hard error, not a pass.
+    try:
+        compare_file(base, {"p50_latency": 400.0},
+                     "BENCH_x.json", ["p99_latency"], 15.0)
+        failures.append("missing candidate metric not rejected")
+    except GateError:
+        pass
+
+    # Malformed compare specs are usage errors.
+    for spec in ("BENCH_x.json", "BENCH_x.json:", ":p99_latency"):
+        try:
+            parse_compare(spec)
+            failures.append(f"bad spec accepted: {spec!r}")
+        except GateError:
+            pass
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("check_bench self-test passed")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=Path)
+    parser.add_argument("--candidate-dir", type=Path)
+    parser.add_argument(
+        "--compare",
+        action="append",
+        default=[],
+        metavar="FILE:METRIC[,METRIC...]",
+        help="bench file (relative to both dirs) and the metrics to gate",
+    )
+    parser.add_argument("--max-regress-pct", type=float, default=15.0)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate catches regressions (negative test)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.self_test:
+            return self_test()
+        if not args.baseline_dir or not args.candidate_dir or not args.compare:
+            raise GateError(
+                "--baseline-dir, --candidate-dir and --compare are required"
+            )
+        compares = [parse_compare(spec) for spec in args.compare]
+        return run_gate(
+            args.baseline_dir, args.candidate_dir, compares,
+            args.max_regress_pct)
+    except GateError as err:
+        print(f"check_bench: error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

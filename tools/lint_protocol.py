@@ -20,7 +20,11 @@ Parses the two wire enums straight out of the source text —
      ``reader.u8() ==/!= kX`` comparison) somewhere under src/,
   4. every MsgType enumerator with a typed codec in wire.h (the lock
      protocol messages) must be exercised by name in
-     tests/frame_conformance_test.cc.
+     tests/frame_conformance_test.cc,
+  5. every MsgType enumerator with a typed codec must be referenced under
+     src/live/ (as ``kX`` or its ``XMsg`` struct) — the live backend speaks
+     the same lock protocol as the sim, and a codec the live runtime never
+     touches means the two backends have drifted.
 
 Run with ``--self-test`` to prove the lint still catches violations: it
 re-runs every check against deliberately broken in-memory copies of the
@@ -133,14 +137,29 @@ def check_msg_types(files: dict[str, str], findings: list[str]) -> None:
                 f"(`case {name}` or `reader.u8() == {name}`) under src/"
             )
     # Messages with a typed codec (encode() in wire.h itself) are the lock
-    # protocol; their round-trips must be covered by the conformance test.
+    # protocol; their round-trips must be covered by the conformance test,
+    # and the live backend must speak every one of them (by enumerator or
+    # by the XMsg struct) or the two runtimes have drifted apart.
+    live_files = {
+        path: text
+        for path, text in files.items()
+        if path.startswith("src/live/")
+    }
     for name, _ in entries:
-        if re.search(rf"\.u8\(\s*{name}\s*\)", files[WIRE_HEADER]):
-            if not re.search(rf"\b{name}\b", files[CONFORMANCE_TEST]):
-                findings.append(
-                    f"MsgType {name} has a typed codec in {WIRE_HEADER} but "
-                    f"is not exercised in {CONFORMANCE_TEST}"
-                )
+        if not re.search(rf"\.u8\(\s*{name}\s*\)", files[WIRE_HEADER]):
+            continue
+        if not re.search(rf"\b{name}\b", files[CONFORMANCE_TEST]):
+            findings.append(
+                f"MsgType {name} has a typed codec in {WIRE_HEADER} but "
+                f"is not exercised in {CONFORMANCE_TEST}"
+            )
+        codec = name[1:] + "Msg"
+        live_ref = rf"\b(?:{name}|{codec})\b"
+        if not any(re.search(live_ref, text) for text in live_files.values()):
+            findings.append(
+                f"MsgType {name} has a typed codec in {WIRE_HEADER} but is "
+                f"never referenced (as {name} or {codec}) under src/live/"
+            )
 
 
 def run_lint(files: dict[str, str]) -> list[str]:
@@ -196,10 +215,23 @@ def self_test(files: dict[str, str]) -> int:
         failures.append(f"duplicate MsgType value not flagged: {found}")
 
     # A message nobody encodes or decodes must be flagged twice.
-    broken = mutate(files, WIRE_HEADER, "kGrant = 22", "kGrant = 22,\n  kOrphan = 23")
+    broken = mutate(files, WIRE_HEADER, "kGrant = 22", "kGrant = 22,\n  kOrphan = 99")
     found = run_lint(broken)
     if sum("kOrphan" in f for f in found) != 2:
         failures.append(f"orphan MsgType not fully flagged: {found}")
+
+    # A typed codec the live backend never references must be flagged: the
+    # injected comment satisfies the producer + typed-codec regexes, so the
+    # findings are exactly {no consumer, no conformance test, no live ref}.
+    broken = mutate(
+        files,
+        WIRE_HEADER,
+        "kNodeAddr = 24,",
+        "kNodeAddr = 24,\n  kGhost = 98,  // writer.u8(kGhost)",
+    )
+    found = run_lint(broken)
+    if not any("kGhost" in f and "src/live/" in f for f in found):
+        failures.append(f"live-coverage gap not flagged: {found}")
 
     # Removing a dispatcher case must be flagged for that backend.
     broken = mutate(

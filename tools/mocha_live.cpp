@@ -26,12 +26,33 @@
 //   --baseline-p99-us carries a fixed-RTO baseline measurement, the JSON
 //   additionally reports the baseline and the speedup.
 //
+// Replica workload (client): exclusive-lock rounds with an actual replica
+// transfer on every acquire (live::DaemonService; the wall-clock twin of the
+// paper's Figs. 9-14 entry-consistency measurements). --replica-bytes takes
+// a comma-separated size list; size i uses lock id --lock + i and one
+// replica named "replica". Each round acquires (wall-clocked: grant + pull),
+// rewrites the replica, releases. With two ping-ponging clients every
+// acquire needs a transfer:
+//   mocha_live --client --site 2 --server-addr 127.0.0.1:7000 --rounds 30
+//              --replica-bytes 1024,4096,262144 [--replica-barrier N]
+//              [--replica-dump-file F] [--bench-json-dir D]
+//   --replica-barrier N parks the client after its rounds until all N
+//   clients arrived (a replicated counter guarded by its own lock), then
+//   every client does one shared acquire to sync the final contents;
+//   --replica-dump-file writes "<size> <hex-of-contents>" per size so a
+//   test can assert byte equality across processes. With --bench-json-dir
+//   it writes BENCH_<bench-name>.json (default live_transfer) with
+//   p50/p99 acquire-with-transfer latency per size.
+//
 // WAN emulation (server and client, applied in the endpoint's own recv path,
 // no root/tc needed): --loss-pct P drops P% of inbound datagrams,
 // --delay-us N adds one-way propagation delay, --bw-kbps B serializes
 // inbound datagrams at B kbit/s (so retransmit storms congest like a real
-// pipe). --fixed-rto disables the adaptive RTO, receiver-side NACKs, and ack
-// delay/piggybacking — the PR 1 transport, for A/B comparison.
+// pipe). When the flags are absent, MOCHA_NETEM_LOSS_PCT / MOCHA_NETEM_DELAY_US
+// in the environment apply instead (lets a CI lane inject loss into forked
+// tests without threading flags through). --fixed-rto disables the adaptive
+// RTO, receiver-side NACKs, and ack delay/piggybacking — the PR 1 transport,
+// for A/B comparison.
 //
 // Two machines: start the server on one host, point --server-addr at it from
 // the others, give every client a distinct --site id ≥ 2.
@@ -49,6 +70,7 @@
 #include <vector>
 
 #include "live/clock.h"
+#include "live/daemon.h"
 #include "live/endpoint.h"
 #include "live/lock_client.h"
 #include "live/lock_server.h"
@@ -91,8 +113,12 @@ struct Args {
   bool transfer = false;
   std::uint64_t bytes = 4096;
   int concurrency = 1;
-  std::string bench_name = "live_wan";
+  std::string bench_name;  // default: live_wan (transfer) / live_transfer
   std::int64_t baseline_p99_us = 0;
+  // Replica workload
+  std::string replica_bytes;  // comma-separated sizes; empty = off
+  std::string replica_dump_file;
+  int replica_barrier = 0;  // clients to rendezvous before the final sync
   // WAN emulation + transport A/B knobs
   double loss_pct = 0.0;
   std::int64_t delay_us = 0;
@@ -102,11 +128,32 @@ struct Args {
   std::int64_t ack_delay_us = -1;  // -1 = endpoint default
 };
 
+// Widens wall-clock timeouts under sanitizer slowdown (the ctest lanes set
+// MOCHA_TEST_TIME_SCALE; same contract as the live test margins).
+double time_scale() {
+  const char* env = std::getenv("MOCHA_TEST_TIME_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
 mocha::live::EndpointOptions make_endpoint_options(const Args& args) {
   mocha::live::EndpointOptions opts;
   opts.recv_loss_pct = args.loss_pct;
   opts.recv_delay_us = args.delay_us;
   opts.recv_bw_kbps = args.bw_kbps;
+  // CI netem: environment-injected loss/delay for forked tests that cannot
+  // pass flags; explicit flags win.
+  if (args.loss_pct == 0.0) {
+    if (const char* env = std::getenv("MOCHA_NETEM_LOSS_PCT")) {
+      opts.recv_loss_pct = std::atof(env);
+    }
+  }
+  if (args.delay_us == 0) {
+    if (const char* env = std::getenv("MOCHA_NETEM_DELAY_US")) {
+      opts.recv_delay_us = std::strtoll(env, nullptr, 10);
+    }
+  }
   // Distinct loss patterns per process, deterministic per site.
   opts.netem_seed = 0x6d6f636861u + args.site * 2654435761u;
   if (args.rto_us > 0) opts.rto_us = args.rto_us;
@@ -131,10 +178,14 @@ int usage(const char* argv0) {
                " --rounds N\n"
                "          [--bytes N] [--concurrency N] [--bench-name NAME]"
                " [--baseline-p99-us N]\n"
+               "       %s --client --site N --server-addr HOST:PORT --rounds N"
+               " --replica-bytes S1,S2,...\n"
+               "          [--replica-barrier N] [--replica-dump-file F]"
+               " [--bench-json-dir D]\n"
                "WAN emulation / transport (server and client):\n"
                "          [--loss-pct P] [--delay-us N] [--bw-kbps B]"
                " [--fixed-rto] [--rto-us N] [--ack-delay-us N]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 64;
 }
 
@@ -172,6 +223,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.baseline_p99_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--replica-bytes") {
+      const char* v = value();
+      if (!v) return false;
+      args.replica_bytes = v;
+    } else if (arg == "--replica-dump-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.replica_dump_file = v;
+    } else if (arg == "--replica-barrier") {
+      const char* v = value();
+      if (!v) return false;
+      args.replica_barrier = std::atoi(v);
     } else if (arg == "--loss-pct") {
       const char* v = value();
       if (!v) return false;
@@ -252,6 +315,11 @@ int run_server(const Args& args) {
   opts.lease_grace_us = args.lease_grace_us;
   mocha::live::LockServer server(endpoint, opts);
   server.start();
+  // Home replica daemon: the retry target when a client's direct pull from
+  // the last owner times out (live::LockClient's §4 fallback), and the push
+  // destination for future UR dissemination.
+  mocha::live::DaemonService daemon(endpoint);
+  daemon.start();
   // Transfer workload sink: drain (and discard) payloads pushed to the
   // transfer port so they do not pile up in the delivery queue.
   std::thread transfer_drain([&endpoint] {
@@ -271,15 +339,21 @@ int run_server(const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   transfer_drain.join();
+  daemon.stop();
   server.stop();
   const auto stats = server.stats();
+  const auto daemon_stats = daemon.stats();
   if (!args.stats_file.empty()) {
     std::ofstream out(args.stats_file);
     out << "{\n"
         << "  \"grants\": " << stats.grants << ",\n"
         << "  \"releases\": " << stats.releases << ",\n"
         << "  \"locks_broken\": " << stats.locks_broken << ",\n"
-        << "  \"registrations\": " << stats.registrations << "\n"
+        << "  \"registrations\": " << stats.registrations << ",\n"
+        << "  \"resolves\": " << stats.resolves << ",\n"
+        << "  \"transfers_served\": " << daemon_stats.transfers_served << ",\n"
+        << "  \"transfers_applied\": " << daemon_stats.transfers_applied
+        << "\n"
         << "}\n";
   }
   if (!args.quiet) {
@@ -403,10 +477,238 @@ int run_transfer(const Args& args, mocha::live::Endpoint& endpoint) {
            p99 > 0 ? static_cast<double>(args.baseline_p99_us) / p99 : 0.0,
            "x"});
     }
-    mocha::util::write_bench_json(args.bench_name, metrics,
-                                  args.bench_json_dir);
+    mocha::util::write_bench_json(
+        args.bench_name.empty() ? "live_wan" : args.bench_name, metrics,
+        args.bench_json_dir);
   }
   return failures == 0 ? 0 : 1;
+}
+
+std::vector<std::uint64_t> parse_sizes(const std::string& csv) {
+  std::vector<std::uint64_t> sizes;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!token.empty()) sizes.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+// Deterministic replica contents for (site, round): transfers must reproduce
+// these bytes exactly at the other end, so any corruption or stale apply
+// shows up in the dump-file comparison.
+mocha::util::Buffer make_pattern(std::uint64_t size, std::uint32_t site,
+                                 std::uint64_t round) {
+  mocha::util::Buffer buf(size);
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    buf[j] = static_cast<std::uint8_t>(site * 31 + round * 7 + j * 13 + 5);
+  }
+  return buf;
+}
+
+// Rendezvous on a lock's version number alone: each client bumps it once
+// (exclusive acquire + release = version + 1), then polls with shared
+// acquires until it reaches `n`. `plain` must be a transfer-less client (no
+// daemon attached): version numbers ride in the GRANT itself, so the barrier
+// works even when some participants have already exited — which is exactly
+// why the replica workload cannot rendezvous over a replicated counter.
+bool version_barrier(mocha::live::LockClient& plain,
+                     mocha::replica::LockId lock_id, int n) {
+  if (!plain.acquire(lock_id).is_ok()) return false;
+  if (!plain.release(lock_id).is_ok()) return false;
+  while (!g_stop) {
+    if (!plain.acquire(lock_id, mocha::replica::LockWireMode::kShared)
+             .is_ok()) {
+      return false;
+    }
+    const mocha::replica::Version version = plain.version(lock_id);
+    if (!plain.release(lock_id).is_ok()) return false;
+    if (version >= static_cast<mocha::replica::Version>(n)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+// Replica workload: entry-consistency rounds with a live daemon attached —
+// every NEED_NEW_VERSION acquire pulls the replica bundle from the previous
+// owner's daemon before returning. The measured latency is the full
+// acquire-with-transfer (grant round trip + directive + bundle transfer).
+int run_replica(const Args& args, mocha::live::Endpoint& endpoint) {
+  const std::vector<std::uint64_t> sizes = parse_sizes(args.replica_bytes);
+  if (sizes.empty()) {
+    std::fprintf(stderr, "--replica-bytes: no sizes parsed\n");
+    return 64;
+  }
+  const double scale = time_scale();
+
+  mocha::live::DaemonService daemon(endpoint);
+  daemon.start();
+  mocha::live::LockClientOptions copts;
+  copts.grant_timeout_us =
+      static_cast<std::int64_t>(10'000'000 * scale);
+  copts.transfer_timeout_us =
+      static_cast<std::int64_t>(2'000'000 * scale);
+  mocha::live::LockClient client(endpoint, kServerNode, copts, &daemon);
+
+  // Size i rides lock --lock + i; the barrier counter gets its own lock (and
+  // is itself a replicated object, so the rendezvous exercises transfers).
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const mocha::replica::LockId lock_id =
+        args.lock + static_cast<std::uint32_t>(i);
+    client.register_lock(lock_id);
+    daemon.register_replica(lock_id, "replica",
+                            make_pattern(sizes[i], /*site=*/0, /*round=*/0));
+  }
+
+  std::vector<std::vector<std::int64_t>> latencies(sizes.size());
+  for (auto& lat : latencies) lat.reserve(args.rounds);
+
+  for (std::uint64_t round = 0; round < args.rounds && !g_stop; ++round) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const mocha::replica::LockId lock_id =
+          args.lock + static_cast<std::uint32_t>(i);
+      const std::int64_t t0 = mocha::live::Clock::monotonic().now_us();
+      mocha::util::Status acquired = client.acquire(lock_id);
+      if (!acquired.is_ok()) {
+        std::fprintf(stderr,
+                     "client %u: replica acquire failed at round %llu: %s\n",
+                     args.site, static_cast<unsigned long long>(round),
+                     acquired.to_string().c_str());
+        return 1;
+      }
+      latencies[i].push_back(mocha::live::Clock::monotonic().now_us() - t0);
+      daemon.write(lock_id, "replica",
+                   make_pattern(sizes[i], args.site, round + 1));
+      if (args.hold_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(args.hold_us));
+      }
+      mocha::util::Status released = client.release(lock_id);
+      if (!released.is_ok()) {
+        std::fprintf(stderr,
+                     "client %u: replica release failed at round %llu: %s\n",
+                     args.site, static_cast<unsigned long long>(round),
+                     released.to_string().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Arrival barrier: nobody starts the final sync until every client's
+  // rounds are done, so the shared acquires below pull the globally last
+  // write. The barrier rides version numbers only (transfer-less client on
+  // a disjoint reply-port range) — a replica-based rendezvous would race
+  // with process exits.
+  mocha::live::LockClientOptions barrier_opts = copts;
+  barrier_opts.reply_port_base = 5000;
+  mocha::live::LockClient plain(endpoint, kServerNode, barrier_opts);
+  const mocha::replica::LockId arrive_lock =
+      args.lock + static_cast<std::uint32_t>(sizes.size());
+  const mocha::replica::LockId depart_lock = arrive_lock + 1;
+  if (args.replica_barrier > 0 &&
+      !version_barrier(plain, arrive_lock, args.replica_barrier)) {
+    std::fprintf(stderr, "client %u: arrival barrier failed\n", args.site);
+    return 1;
+  }
+
+  // Final shared round: readers pull the newest version without bumping it,
+  // leaving every client's daemon with identical bytes for the dump.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const mocha::replica::LockId lock_id =
+        args.lock + static_cast<std::uint32_t>(i);
+    if (!client.acquire(lock_id, mocha::replica::LockWireMode::kShared)
+             .is_ok() ||
+        !client.release(lock_id).is_ok()) {
+      std::fprintf(stderr, "client %u: final shared sync failed\n", args.site);
+      return 1;
+    }
+  }
+
+  // Departure barrier: every process keeps its daemon serving until all
+  // peers finished their final sync — otherwise a slower client's pull
+  // could target a daemon whose process already exited.
+  if (args.replica_barrier > 0 &&
+      !version_barrier(plain, depart_lock, args.replica_barrier)) {
+    std::fprintf(stderr, "client %u: departure barrier failed\n", args.site);
+    return 1;
+  }
+
+  if (!args.replica_dump_file.empty()) {
+    std::ofstream out(args.replica_dump_file, std::ios::trunc);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const mocha::replica::LockId lock_id =
+          args.lock + static_cast<std::uint32_t>(i);
+      const mocha::util::Buffer contents = daemon.read(lock_id, "replica");
+      out << sizes[i] << " ";
+      for (std::uint8_t byte : contents) {
+        static const char* hex = "0123456789abcdef";
+        out << hex[byte >> 4] << hex[byte & 0xf];
+      }
+      out << "\n";
+    }
+    if (!out) {
+      std::fprintf(stderr, "client %u: cannot write %s\n", args.site,
+                   args.replica_dump_file.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<mocha::util::Metric> metrics;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::sort(latencies[i].begin(), latencies[i].end());
+    const double p50 = percentile_us(latencies[i], 0.50);
+    const double p99 = percentile_us(latencies[i], 0.99);
+    double sum = 0;
+    for (std::int64_t v : latencies[i]) sum += static_cast<double>(v);
+    const double mean =
+        latencies[i].empty()
+            ? 0.0
+            : sum / static_cast<double>(latencies[i].size());
+    if (!args.quiet) {
+      std::printf(
+          "client %u: %zu acquires of %llu B replica | p50 %.0f us  "
+          "p99 %.0f us  mean %.0f us\n",
+          args.site, latencies[i].size(),
+          static_cast<unsigned long long>(sizes[i]), p50, p99, mean);
+    }
+    const std::string suffix = std::to_string(sizes[i]);
+    metrics.push_back({"p50_acquire_" + suffix, p50, "us"});
+    metrics.push_back({"p99_acquire_" + suffix, p99, "us"});
+    metrics.push_back({"mean_acquire_" + suffix, mean, "us"});
+  }
+  metrics.push_back({"transfers_pulled",
+                     static_cast<double>(client.transfers_pulled()), "count"});
+  metrics.push_back({"transfer_retries",
+                     static_cast<double>(client.transfer_retries()), "count"});
+  metrics.push_back({"transfer_timeouts",
+                     static_cast<double>(client.transfer_timeouts()),
+                     "count"});
+  metrics.push_back({"retransmissions",
+                     static_cast<double>(endpoint.retransmissions()),
+                     "count"});
+  if (!args.quiet) {
+    std::printf(
+        "client %u: %llu transfers pulled, %llu retries, %llu timeouts, "
+        "%llu retransmissions\n",
+        args.site, static_cast<unsigned long long>(client.transfers_pulled()),
+        static_cast<unsigned long long>(client.transfer_retries()),
+        static_cast<unsigned long long>(client.transfer_timeouts()),
+        static_cast<unsigned long long>(endpoint.retransmissions()));
+  }
+  if (!args.bench_json_dir.empty()) {
+    mocha::util::write_bench_json(
+        args.bench_name.empty() ? "live_transfer" : args.bench_name, metrics,
+        args.bench_json_dir);
+  }
+  // Linger until the final RELEASE (fire-and-forget) is transport-acked:
+  // under injected loss the retransmit timer may still own its delivery.
+  endpoint.flush(2'000'000LL * time_scale());
+  daemon.stop();
+  return 0;
 }
 
 int run_client(const Args& args) {
@@ -424,6 +726,7 @@ int run_client(const Args& args) {
                                  make_endpoint_options(args));
   endpoint.add_peer(kServerNode, host, server_port);
   if (args.transfer) return run_transfer(args, endpoint);
+  if (!args.replica_bytes.empty()) return run_replica(args, endpoint);
   mocha::live::LockClient client(endpoint, kServerNode);
   client.register_lock(args.lock);
 
@@ -503,6 +806,9 @@ int run_client(const Args& args) {
          {"throughput", throughput, "rounds/s"}},
         args.bench_json_dir);
   }
+  // The last RELEASE is fire-and-forget; don't exit while its retransmit
+  // timer may still own delivery (injected loss would strand it).
+  endpoint.flush(2'000'000LL * time_scale());
   return 0;
 }
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs the two gated live-runtime benches with the deterministic userspace
+# WAN emulation (seeded per site, so loss patterns reproduce) and leaves
+#
+#   BENCH_live_wan.json       — adaptive transport, 100 x 4 KiB transfers
+#                               (2% loss, 20 ms one-way delay, 6 Mbit/s)
+#   BENCH_live_transfer.json  — two-client replica ping-pong, acquire-with-
+#                               transfer latency at 1 KiB / 4 KiB / 256 KiB
+#                               (20 ms one-way delay, no loss: the p99 gate
+#                               needs a tight tail; loss resilience is the
+#                               WAN bench's and the loss-injection lane's job)
+#
+# in OUTDIR. The bench-gate CI job compares these against the committed
+# bench/baselines/ via tools/check_bench.py; regenerate baselines by running
+# this script and copying the two files there.
+#
+# Usage: run_live_benches.sh <mocha_live-binary> <outdir>
+set -euo pipefail
+
+BIN=$1
+OUT=$2
+mkdir -p "$OUT"
+
+WAN_FLAGS=(--loss-pct 2 --delay-us 20000)
+
+wait_ready() { # <ready-file> -> echoes the server port
+  local ready=$1 port=""
+  for _ in $(seq 100); do
+    sleep 0.1
+    port=$(cat "$ready" 2>/dev/null || true)
+    [ -n "$port" ] && break
+  done
+  [ -n "$port" ] || { echo "server never became ready" >&2; exit 1; }
+  echo "$port"
+}
+
+# --- 1. WAN transfer bench (BENCH_live_wan.json) ---
+"$BIN" --server --port 0 --ready-file "$OUT/ready_wan" --quiet \
+  "${WAN_FLAGS[@]}" --bw-kbps 6000 &
+SERVER=$!
+PORT=$(wait_ready "$OUT/ready_wan")
+"$BIN" --client --transfer --site 2 --server-addr "127.0.0.1:$PORT" \
+  --rounds 100 --bytes 4096 --concurrency 4 \
+  --bench-json-dir "$OUT" --bench-name live_wan --quiet \
+  "${WAN_FLAGS[@]}" --bw-kbps 6000
+kill -TERM "$SERVER" && wait "$SERVER"
+
+# --- 2. Replica-transfer bench (BENCH_live_transfer.json) ---
+DELAY_FLAGS=(--delay-us 20000)
+"$BIN" --server --port 0 --ready-file "$OUT/ready_transfer" \
+  --stats-file "$OUT/transfer_server_stats.json" --quiet "${DELAY_FLAGS[@]}" &
+SERVER=$!
+PORT=$(wait_ready "$OUT/ready_transfer")
+"$BIN" --client --site 2 --server-addr "127.0.0.1:$PORT" --rounds 40 \
+  --replica-bytes 1024,4096,262144 --replica-barrier 2 \
+  --bench-json-dir "$OUT" --quiet "${DELAY_FLAGS[@]}" &
+C2=$!
+"$BIN" --client --site 3 --server-addr "127.0.0.1:$PORT" --rounds 40 \
+  --replica-bytes 1024,4096,262144 --replica-barrier 2 \
+  --quiet "${DELAY_FLAGS[@]}" &
+C3=$!
+wait "$C2"
+wait "$C3"
+kill -TERM "$SERVER" && wait "$SERVER"
+
+echo "bench JSON written to $OUT:"
+ls -l "$OUT"/BENCH_*.json
