@@ -289,6 +289,18 @@ bool Endpoint::flush(std::int64_t timeout_us) {
   return true;
 }
 
+void Endpoint::set_ready_fd(net::Port port, int fd) {
+  util::MutexLock lock(mu_);
+  PortQueue& queue = port_queue(port);
+  queue.ready_fd = fd;
+  if (fd >= 0 && !queue.messages.empty()) {
+    // Catch up: deliveries that predate the registration must still wake
+    // the reactor exactly once.
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(fd, &one, sizeof(one));
+  }
+}
+
 Endpoint::Message Endpoint::recv(net::Port port) {
   util::MutexLock lock(mu_);
   PortQueue& queue = port_queue(port);
@@ -771,6 +783,11 @@ void Endpoint::deliver_in_order(net::NodeId src) {
     PortQueue& queue = port_queue(msg.port);
     queue.messages.push_back(std::move(msg));
     queue.cv.notify_one();
+    if (queue.ready_fd >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const auto n =
+          ::write(queue.ready_fd, &one, sizeof(one));
+    }
   }
 }
 

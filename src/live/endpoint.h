@@ -182,6 +182,13 @@ class Endpoint {
   // drained within `timeout_us`.
   bool flush(std::int64_t timeout_us) EXCLUDES(mu_);
 
+  // Reactor integration: registers an eventfd that is signalled (counting
+  // write of 1) whenever a message is delivered to `port`. A reactor watches
+  // the fd and drains with recv_for(port, 0). If messages are already queued
+  // the fd is signalled immediately; -1 unregisters. The fd must outlive the
+  // registration (unregister before close()).
+  void set_ready_fd(net::Port port, int fd) EXCLUDES(mu_);
+
   // Blocking receive of the next message addressed to `port`.
   Message recv(net::Port port) EXCLUDES(mu_);
   // Timed receive; 0 polls without blocking.
@@ -238,6 +245,7 @@ class Endpoint {
   struct PortQueue {
     std::deque<Message> messages;
     util::CondVar cv;
+    int ready_fd = -1;  // eventfd signalled on delivery; -1 = none
   };
 
   // One partially reassembled inbound message + its NACK bookkeeping.

@@ -16,7 +16,8 @@ LockClient::LockClient(Endpoint& endpoint, net::NodeId server,
       opts_(opts),
       daemon_(daemon),
       clock_(&Clock::monotonic()),
-      next_port_(opts.reply_port_base) {}
+      next_port_(opts.reply_port_base),
+      nonce_(opts.nonce_seed) {}
 
 LockClient::LockLocal& LockClient::local(replica::LockId lock_id) {
   auto it = locks_.find(lock_id);
@@ -28,19 +29,59 @@ LockClient::LockLocal& LockClient::local(replica::LockId lock_id) {
   return it->second;
 }
 
+net::NodeId LockClient::home_for(replica::LockId lock_id) const {
+  return shard_map_.empty() ? server_ : shard_map_.node_of(lock_id);
+}
+
+util::Status LockClient::fetch_shard_map(std::int64_t timeout_us) {
+  // A dedicated reply port: the handshake happens before any lock traffic,
+  // but a shared port would let a stale reply bleed into later resolves.
+  const net::Port reply_port = next_port_++;
+  util::Buffer query;
+  replica::ShardMapRequestMsg{reply_port}.encode(query);
+  endpoint_.send(server_, replica::kSyncPort, std::move(query));
+
+  const std::int64_t deadline = clock_->now_us() + timeout_us;
+  while (true) {
+    const std::int64_t now = clock_->now_us();
+    if (now >= deadline) {
+      return util::Status(util::StatusCode::kTimeout,
+                          "no kShardMapReply from the bootstrap server");
+    }
+    auto reply = endpoint_.recv_for(reply_port, deadline - now);
+    if (!reply.has_value()) continue;
+    util::WireReader reader(reply->payload);
+    if (reader.u8() != replica::kShardMapReply) continue;
+    const auto msg = replica::ShardMapReplyMsg::decode(reader);
+    for (const auto& entry : msg.shards) {
+      // ipv4 == 0: not advertised — keep the existing route (the bootstrap
+      // server itself, typically). Never clobber the bootstrap address
+      // either; we demonstrably reach it already.
+      if (entry.ipv4 == 0 || entry.node == server_) continue;
+      in_addr ip{};
+      ip.s_addr = entry.ipv4;  // already network byte order
+      char quad[INET_ADDRSTRLEN] = {};
+      if (::inet_ntop(AF_INET, &ip, quad, sizeof(quad)) == nullptr) continue;
+      endpoint_.add_peer(entry.node, quad, entry.udp_port);
+    }
+    shard_map_ = ShardMap(msg.shards);
+    return util::Status::ok();
+  }
+}
+
 void LockClient::register_lock(replica::LockId lock_id) {
   local(lock_id);  // allocate reply ports
   util::Buffer msg;
   replica::RegisterLockMsg{lock_id, endpoint_.node()}.encode(msg);
-  endpoint_.send(server_, replica::kSyncPort, std::move(msg));
+  endpoint_.send(home_for(lock_id), replica::kSyncPort, std::move(msg));
 }
 
-bool LockClient::ensure_peer(net::NodeId node, net::Port reply_port,
-                             std::int64_t timeout_us) {
+bool LockClient::ensure_peer(net::NodeId node, net::NodeId via,
+                             net::Port reply_port, std::int64_t timeout_us) {
   if (endpoint_.knows_peer(node)) return true;
   util::Buffer query;
   replica::ResolveNodeMsg{node, reply_port}.encode(query);
-  endpoint_.send(server_, replica::kSyncPort, std::move(query));
+  endpoint_.send(via, replica::kSyncPort, std::move(query));
 
   const std::int64_t deadline = clock_->now_us() + timeout_us;
   while (true) {
@@ -85,9 +126,12 @@ util::Status LockClient::pull_replica(replica::LockId lock_id,
     return util::Status::ok();
   }
 
+  // Resolve and retry against the shard owning this lock: it is the party
+  // that granted the lock, so its peer table has heard from every holder.
+  const net::NodeId home = home_for(lock_id);
   const net::NodeId owner = grant.transfer_from;
   if (owner != 0 && owner != endpoint_.node() &&
-      ensure_peer(owner, lk.grant_port, opts_.transfer_timeout_us)) {
+      ensure_peer(owner, home, lk.grant_port, opts_.transfer_timeout_us)) {
     send_pull_directive(owner, lock_id, target);
     util::Status direct =
         daemon_->wait_for_version(lock_id, target, opts_.transfer_timeout_us);
@@ -103,7 +147,7 @@ util::Status LockClient::pull_replica(replica::LockId lock_id,
   // (weakened consistency, mirroring the sim's poll-and-redirect).
   ++transfer_retries_;
   const std::uint64_t applied_before = daemon_->transfers_applied(lock_id);
-  send_pull_directive(server_, lock_id, target);
+  send_pull_directive(home, lock_id, target);
   util::Status retried = daemon_->wait_for_apply(lock_id, applied_before,
                                                  opts_.transfer_timeout_us);
   if (retried.is_ok()) {
@@ -147,7 +191,7 @@ util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
   msg.nonce = nonce;
   util::Buffer request;
   msg.encode(request);
-  endpoint_.send(server_, replica::kSyncPort, std::move(request));
+  endpoint_.send(home_for(lock_id), replica::kSyncPort, std::move(request));
 
   const std::int64_t deadline = t_request + opts_.grant_timeout_us;
   while (true) {
@@ -216,7 +260,7 @@ util::Status LockClient::release(replica::LockId lock_id) {
   msg.mode = shared ? LockWireMode::kShared : LockWireMode::kExclusive;
   util::Buffer release;
   msg.encode(release);
-  endpoint_.send(server_, replica::kSyncPort, std::move(release));
+  endpoint_.send(home_for(lock_id), replica::kSyncPort, std::move(release));
   ++releases_;
   return util::Status::ok();
 }

@@ -33,6 +33,7 @@
 
 #include "live/daemon.h"
 #include "live/endpoint.h"
+#include "live/shard_map.h"
 #include "replica/wire.h"
 
 namespace mocha::live {
@@ -46,6 +47,10 @@ struct LockClientOptions {
   // First per-lock grant/data reply port (runtime::ports::kAppBase). Give
   // each LockClient sharing one endpoint a disjoint range.
   net::Port reply_port_base = 1000;
+  // Starting nonce. Multiple LockClients sharing one endpoint appear as the
+  // same site to the server, whose lease ABA guard keys on (site, nonce) —
+  // give each a disjoint nonce space (e.g. reply_port_base << 32).
+  std::uint64_t nonce_seed = 0;
 };
 
 class LockClient {
@@ -57,7 +62,19 @@ class LockClient {
   LockClient(Endpoint& endpoint, net::NodeId server,
              LockClientOptions opts = {}, DaemonService* daemon = nullptr);
 
-  // Registers this site as a holder of `lock_id` with the server
+  // Sharded routing (docs/PROTOCOL.md §9): with a shard map installed,
+  // every per-lock message (acquire/release/register/resolve and the
+  // home-daemon retry) goes to the shard owning that lock id; without one,
+  // everything goes to the bootstrap `server` (single-shard deployments).
+  void set_shard_map(ShardMap map) { shard_map_ = std::move(map); }
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  // Registration handshake: asks the bootstrap server for the deployment's
+  // shard map (kShardMapRequest), registers every advertised shard endpoint
+  // as a peer, and installs the map. kTimeout when no reply arrived.
+  util::Status fetch_shard_map(std::int64_t timeout_us);
+
+  // Registers this site as a holder of `lock_id` with the owning shard
   // (fire-and-forget; acquire() also registers implicitly).
   void register_lock(replica::LockId lock_id);
 
@@ -103,24 +120,27 @@ class LockClient {
   };
 
   LockLocal& local(replica::LockId lock_id);
+  // Shard owning `lock_id` — the bootstrap server when no map is installed.
+  net::NodeId home_for(replica::LockId lock_id) const;
   // The NEED_NEW_VERSION pull path; see the file comment for the protocol.
   util::Status pull_replica(replica::LockId lock_id, const LockLocal& lk,
                             const replica::GrantMsg& grant);
-  // Makes `node` sendable, asking the server for its address if needed.
-  bool ensure_peer(net::NodeId node, net::Port reply_port,
+  // Makes `node` sendable, asking shard `via` for its address if needed.
+  bool ensure_peer(net::NodeId node, net::NodeId via, net::Port reply_port,
                    std::int64_t timeout_us);
   void send_pull_directive(net::NodeId owner, replica::LockId lock_id,
                            replica::Version version);
 
   Endpoint& endpoint_;
   net::NodeId server_;
+  ShardMap shard_map_;
   LockClientOptions opts_;
   DaemonService* daemon_;
   Clock* clock_;
   std::map<replica::LockId, LockLocal> locks_;
   // Per-thread reply ports, mirroring runtime::ports::kAppBase.
   net::Port next_port_;
-  std::uint64_t nonce_ = 0;
+  std::uint64_t nonce_;
   std::int64_t last_grant_latency_us_ = 0;
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;

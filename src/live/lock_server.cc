@@ -1,6 +1,12 @@
 #include "live/lock_server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <system_error>
 
 #include "util/log.h"
 
@@ -10,23 +16,61 @@ using replica::GrantFlag;
 using replica::LockWireMode;
 
 LockServer::LockServer(Endpoint& endpoint, LockServerOptions opts)
-    : endpoint_(endpoint), opts_(opts) {}
+    : endpoint_(endpoint), opts_(opts), reactor_(opts.reactor) {
+  util::MutexLock guard(mu_);
+  stats_.shard_id = opts_.shard_id;
+}
 
 LockServer::~LockServer() { stop(); }
 
+void LockServer::set_shard_map(ShardMap map) { shard_map_ = std::move(map); }
+
 void LockServer::start() {
   if (running_.exchange(true)) return;
-  serve_thread_ = std::thread([this] { loop(); });
+  if (shard_map_.empty()) {
+    // Single-shard default: advertise this endpoint as the whole directory.
+    // ipv4 = 0 tells clients to keep their bootstrap route to this node.
+    ShardMap::Entry self;
+    self.shard = opts_.shard_id;
+    self.node = endpoint_.node();
+    self.udp_port = endpoint_.udp_port();
+    shard_map_ = ShardMap({self});
+  }
+  ready_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (ready_fd_ < 0) {
+    running_.store(false);
+    throw std::system_error(errno, std::generic_category(),
+                            "LockServer eventfd");
+  }
+  reactor_.watch_fd(ready_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t count = 0;
+    while (::read(ready_fd_, &count, sizeof(count)) > 0) {
+    }
+    drain_sync_port();
+  });
+  endpoint_.set_ready_fd(replica::kSyncPort, ready_fd_);
+  serve_thread_ = std::thread([this] { reactor_.run(); });
 }
 
 void LockServer::stop() {
   if (!running_.exchange(false)) return;
+  reactor_.stop();
   if (serve_thread_.joinable()) serve_thread_.join();
+  endpoint_.set_ready_fd(replica::kSyncPort, -1);
+  if (ready_fd_ >= 0) {
+    ::close(ready_fd_);
+    ready_fd_ = -1;
+  }
 }
 
 LockServer::Stats LockServer::stats() const {
+  const Reactor::Stats reactor = reactor_.stats();
   util::MutexLock lock(mu_);
-  return stats_;
+  Stats stats = stats_;
+  stats.reactor_iterations = reactor.iterations;
+  stats.reactor_timers_fired = reactor.timers_fired;
+  stats.max_epoll_batch = reactor.max_epoll_batch;
+  return stats;
 }
 
 bool LockServer::is_blacklisted(std::uint32_t site) const {
@@ -34,22 +78,15 @@ bool LockServer::is_blacklisted(std::uint32_t site) const {
   return blacklist_.contains(site);
 }
 
-void LockServer::loop() {
-  while (running_.load()) {
-    // Wake at least every lease interval while any lock is held; otherwise
-    // still wake periodically to notice stop().
-    bool any_lease = false;
-    for (const auto& [id, lock] : locks_) {
-      if (!lock.active.empty()) {
-        any_lease = true;
-        break;
-      }
-    }
-    const std::int64_t wait_us =
-        any_lease ? opts_.lease_check_interval_us : 200'000;
-    auto msg = endpoint_.recv_for(replica::kSyncPort, wait_us);
-    if (msg.has_value()) handle(std::move(*msg));
-    scan_leases();
+void LockServer::publish_gauges() {
+  util::MutexLock guard(mu_);
+  stats_.queued_waiters = queued_waiters_;
+  stats_.active_leases = active_leases_;
+}
+
+void LockServer::drain_sync_port() {
+  while (auto msg = endpoint_.recv_for(replica::kSyncPort, 0)) {
+    handle(std::move(*msg));
   }
 }
 
@@ -91,6 +128,9 @@ void LockServer::handle(Endpoint::Message msg) {
         ++stats_.resolves;
         break;
       }
+      case replica::kShardMapRequest:
+        handle_shard_map_request(msg.src, reader);
+        break;
       default:
         // Sim-only traffic (replica registry, cached directory, …) is not
         // served by the live lock server yet.
@@ -100,6 +140,18 @@ void LockServer::handle(Endpoint::Message msg) {
     MOCHA_DEBUG("live") << "lock server: dropping malformed message from node "
                         << msg.src << ": " << err.what();
   }
+}
+
+void LockServer::handle_shard_map_request(net::NodeId src,
+                                          util::WireReader& reader) {
+  const auto request = replica::ShardMapRequestMsg::decode(reader);
+  replica::ShardMapReplyMsg answer;
+  answer.shards = shard_map_.entries();
+  util::Buffer reply;
+  answer.encode(reply);
+  endpoint_.send(src, request.reply_port, std::move(reply));
+  util::MutexLock guard(mu_);
+  ++stats_.shard_map_requests;
 }
 
 void LockServer::handle_acquire(util::WireReader& reader) {
@@ -131,7 +183,9 @@ void LockServer::handle_acquire(util::WireReader& reader) {
   lock.id = req.lock_id;
   lock.holders.insert(req.site);
   lock.waiting.push_back(req);
+  ++queued_waiters_;
   grant_from_queue(lock);
+  publish_gauges();
 }
 
 void LockServer::grant_from_queue(LockState& lock) {
@@ -144,21 +198,31 @@ void LockServer::grant_from_queue(LockState& lock) {
       if (!lock.active.empty()) return;
       Request req = head;
       lock.waiting.pop_front();
+      --queued_waiters_;
       activate(lock, std::move(req));
       return;
     }
     if (lock.has_active_exclusive()) return;
     Request req = head;
     lock.waiting.pop_front();
+    --queued_waiters_;
     activate(lock, std::move(req));
     // continue: grant the consecutive shared run
   }
 }
 
 void LockServer::activate(LockState& lock, Request req) {
-  req.lease_deadline_us =
+  // §4 failure detection as a continuation: one reactor timer per active
+  // hold replaces the old periodic lease scan. The timer is cancelled on
+  // release; (site, nonce) re-checked at expiry for the cancel/fire race.
+  const std::int64_t lease_deadline_us =
       Clock::monotonic().now_us() +
       static_cast<std::int64_t>(req.expected_hold_us) + opts_.lease_grace_us;
+  req.lease_timer = reactor_.call_at(
+      lease_deadline_us,
+      [this, lock_id = req.lock_id, site = req.site, nonce = req.nonce] {
+        on_lease_expired(lock_id, site, nonce);
+      });
 
   // Version 0 = no release yet, every holder still has initial contents.
   // Otherwise the up-to-date set decides whether the requester's copy is
@@ -172,6 +236,7 @@ void LockServer::activate(LockState& lock, Request req) {
              current ? GrantFlag::kVersionOk : GrantFlag::kNeedNewVersion,
              lock.holders, current ? 0 : lock.last_owner.value_or(0));
   lock.active.push_back(std::move(req));
+  ++active_leases_;
   util::MutexLock guard(mu_);
   ++stats_.grants;
 }
@@ -202,7 +267,9 @@ void LockServer::handle_release(util::WireReader& reader) {
       lock.active.begin(), lock.active.end(),
       [&](const Request& r) { return r.site == msg.site; });
   if (active_it != lock.active.end()) {
+    reactor_.cancel(active_it->lease_timer);
     lock.active.erase(active_it);
+    --active_leases_;
   } else {
     bool blacklisted = false;
     {
@@ -229,34 +296,48 @@ void LockServer::handle_release(util::WireReader& reader) {
     ++stats_.releases;
   }
   grant_from_queue(lock);
+  publish_gauges();
 }
 
-void LockServer::scan_leases() {
-  const std::int64_t now = Clock::monotonic().now_us();
-  for (auto& [id, lock] : locks_) {
-    for (std::size_t i = 0; i < lock.active.size();) {
-      Request& owner = lock.active[i];
-      if (owner.lease_deadline_us == 0 || now <= owner.lease_deadline_us) {
-        ++i;
-        continue;
-      }
-      // §4, failure of a lock-owning thread. The sim service confirms with
-      // a daemon heartbeat first; the live runtime has no daemon yet, so an
-      // expired lease breaks the lock directly.
-      const Request dead = owner;
-      lock.active.erase(lock.active.begin() + static_cast<std::ptrdiff_t>(i));
-      lock.holders.erase(dead.site);
-      lock.up_to_date.erase(dead.site);
-      {
-        util::MutexLock guard(mu_);
-        blacklist_.insert(dead.site);
-        ++stats_.locks_broken;
-      }
-      MOCHA_INFO("live") << "lock " << id << " broken: site " << dead.site
-                         << " exceeded its lease; site blacklisted";
-      grant_from_queue(lock);
-      // the erase removed index i; re-examine the same slot
-    }
+void LockServer::on_lease_expired(replica::LockId lock_id, std::uint32_t site,
+                                  std::uint64_t nonce) {
+  auto it = locks_.find(lock_id);
+  if (it == locks_.end()) return;
+  LockState& lock = it->second;
+  auto active_it = std::find_if(
+      lock.active.begin(), lock.active.end(), [&](const Request& r) {
+        return r.site == site && r.nonce == nonce;
+      });
+  if (active_it == lock.active.end()) return;  // released before we fired
+
+  // §4, failure of a lock-owning thread. The sim service confirms with a
+  // daemon heartbeat first; the live runtime has no heartbeat path yet, so
+  // an expired lease breaks the lock directly.
+  lock.active.erase(active_it);
+  --active_leases_;
+  lock.holders.erase(site);
+  lock.up_to_date.erase(site);
+  blacklist_site(site);
+  {
+    util::MutexLock guard(mu_);
+    ++stats_.locks_broken;
+  }
+  MOCHA_INFO("live") << "lock " << lock_id << " broken: site " << site
+                     << " exceeded its lease; site blacklisted";
+  grant_from_queue(lock);
+  publish_gauges();
+}
+
+void LockServer::blacklist_site(std::uint32_t site) {
+  {
+    util::MutexLock guard(mu_);
+    blacklist_.insert(site);
+  }
+  if (opts_.blacklist_ttl_us > 0) {
+    reactor_.call_after(opts_.blacklist_ttl_us, [this, site] {
+      util::MutexLock guard(mu_);
+      blacklist_.erase(site);
+    });
   }
 }
 

@@ -1,10 +1,26 @@
-// live::LockServer — the central synchronization thread over real sockets.
+// live::LockServer — one shard of the lock directory, driven by a Reactor.
 //
 // The wall-clock twin of replica::SyncService, reduced to the lock core:
 // strict-FIFO grant queue with shared-mode batching, version numbers, the
 // up-to-date replica set, lock leases, and the §4 blacklist. It speaks the
 // exact kAcquireLock / kReleaseLock / kRegisterLock / kGrant messages from
 // replica/wire.h on logical port replica::kSyncPort.
+//
+// Event-loop architecture (PR 6): instead of a blocking serve thread
+// alternating recv_for() with periodic lease scans, the server owns a
+// live::Reactor. Message delivery signals an eventfd
+// (Endpoint::set_ready_fd) whose readiness handler drains the sync port;
+// every lease is an individual reactor timer armed at activation and
+// cancelled at release (no scanning); blacklist expiry (when configured) is
+// a timer too. One event-loop thread drives every waiter as continuation
+// state in the grant queue — there is no per-client thread or condvar
+// anywhere in the server.
+//
+// Sharding (docs/PROTOCOL.md §9): a deployment runs N LockServers, each on
+// its own endpoint/reactor, each owning the lock ids its ShardMap assigns
+// it. The server answers kShardMapRequest with the full map so clients can
+// route; with no map configured it serves everything (single-shard, wire-
+// compatible with pre-shard clients).
 //
 // NEED_NEW_VERSION grants name the last owner (GrantMsg.transfer_from); the
 // requesting client pulls the replica bundle from that site's daemon
@@ -28,6 +44,8 @@
 #include <vector>
 
 #include "live/endpoint.h"
+#include "live/reactor.h"
+#include "live/shard_map.h"
 #include "replica/wire.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -37,19 +55,31 @@ namespace mocha::live {
 struct LockServerOptions {
   std::int64_t default_expected_hold_us = 500'000;
   std::int64_t lease_grace_us = 300'000;
-  // The serve loop wakes at least this often to scan leases while any lock
-  // is held.
-  std::int64_t lease_check_interval_us = 100'000;
+  // §4 keeps a broken-lock site blacklisted forever; a positive TTL expires
+  // the entry via a reactor timer instead (operational escape hatch).
+  std::int64_t blacklist_ttl_us = 0;
+  // Shard id reported in stats and logs (the ShardMap decides routing).
+  std::uint32_t shard_id = 0;
+  ReactorOptions reactor;
 };
 
 class LockServer {
  public:
   struct Stats {
+    std::uint32_t shard_id = 0;
     std::uint64_t grants = 0;
     std::uint64_t releases = 0;
     std::uint64_t locks_broken = 0;
     std::uint64_t registrations = 0;
     std::uint64_t resolves = 0;  // kResolveNode address queries answered
+    std::uint64_t shard_map_requests = 0;
+    // Gauges: current queue depth / lease population of this shard.
+    std::uint64_t queued_waiters = 0;
+    std::uint64_t active_leases = 0;
+    // Reactor-core counters (per-shard load balance in bench artifacts).
+    std::uint64_t reactor_iterations = 0;
+    std::uint64_t reactor_timers_fired = 0;
+    std::uint64_t max_epoll_batch = 0;
   };
 
   LockServer(Endpoint& endpoint, LockServerOptions opts = {});
@@ -58,7 +88,12 @@ class LockServer {
   LockServer(const LockServer&) = delete;
   LockServer& operator=(const LockServer&) = delete;
 
-  // Starts / stops the serve thread. stop() is idempotent and joins.
+  // Installs the deployment's shard map served to kShardMapRequest clients.
+  // Must be called before start(); an empty map makes the server advertise
+  // itself as the only shard.
+  void set_shard_map(ShardMap map);
+
+  // Starts / stops the reactor thread. stop() is idempotent and joins.
   void start();
   void stop();
 
@@ -74,7 +109,8 @@ class LockServer {
     std::uint64_t expected_hold_us = 0;
     replica::LockWireMode mode = replica::LockWireMode::kExclusive;
     std::uint64_t nonce = 0;
-    std::int64_t lease_deadline_us = 0;  // set when the request activates
+    // Reactor lease timer armed at activation, cancelled at release.
+    Reactor::TimerId lease_timer = Reactor::kInvalidTimer;
   };
 
   struct LockState {
@@ -91,30 +127,45 @@ class LockServer {
     }
   };
 
-  void loop() EXCLUDES(mu_);
+  // All handlers below run on the reactor thread.
+  void drain_sync_port() EXCLUDES(mu_);
   void handle(Endpoint::Message msg) EXCLUDES(mu_);
   void handle_acquire(util::WireReader& reader) EXCLUDES(mu_);
   void handle_release(util::WireReader& reader) EXCLUDES(mu_);
+  void handle_shard_map_request(net::NodeId src, util::WireReader& reader)
+      EXCLUDES(mu_);
   void grant_from_queue(LockState& lock) EXCLUDES(mu_);
   void activate(LockState& lock, Request req) EXCLUDES(mu_);
   void send_grant(const Request& req, replica::Version version,
                   replica::GrantFlag flag,
                   const std::set<std::uint32_t>& holders,
                   std::uint32_t transfer_from = 0);
-  void scan_leases() EXCLUDES(mu_);
+  // §4 lease breaker, fired by the request's reactor timer. The (site,
+  // nonce) pair guards against ABA: a timer racing a release + re-acquire of
+  // the same site must not break the new hold.
+  void on_lease_expired(replica::LockId lock_id, std::uint32_t site,
+                        std::uint64_t nonce) EXCLUDES(mu_);
+  void blacklist_site(std::uint32_t site) EXCLUDES(mu_);
+  // Publishes the queue/lease gauges into stats_ (call with counts current).
+  void publish_gauges() EXCLUDES(mu_);
 
   Endpoint& endpoint_;
   LockServerOptions opts_;
+  Reactor reactor_;
   std::atomic<bool> running_{false};
   std::thread serve_thread_;
+  int ready_fd_ = -1;  // eventfd bridging endpoint delivery -> reactor
 
-  // Owned exclusively by the serve thread while it runs (never touched from
-  // other threads, so no capability guards it; the thread join in stop() is
-  // the only synchronization it needs).
+  // Owned exclusively by the reactor thread while it runs (never touched
+  // from other threads, so no capability guards it; the thread join in
+  // stop() is the only synchronization it needs).
   std::map<replica::LockId, LockState> locks_;
+  ShardMap shard_map_;
+  std::uint64_t queued_waiters_ = 0;  // incremental gauges, reactor thread
+  std::uint64_t active_leases_ = 0;
 
   mutable util::Mutex mu_;
-  // Cross-thread observable state: the serve thread publishes, stats() /
+  // Cross-thread observable state: the reactor thread publishes, stats() /
   // is_blacklisted() read from arbitrary threads.
   std::set<std::uint32_t> blacklist_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);

@@ -1,0 +1,49 @@
+#include "live/shard_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mocha::live {
+
+ShardMap::ShardMap(std::vector<Entry> shards) : shards_(std::move(shards)) {
+  ring_.reserve(shards_.size() * kVirtualNodes);
+  for (std::uint32_t index = 0; index < shards_.size(); ++index) {
+    const std::uint64_t shard = shards_[index].shard;
+    // Ring points derive from (shard id, vnode) only: address changes or
+    // reordered entry lists never move ownership. The double hash puts ring
+    // points in a different input domain than lock ids — a single-hash
+    // scheme made shard 0's vnode points collide exactly with the hashes of
+    // lock ids < kVirtualNodes, parking every small lock on shard 0.
+    const std::uint64_t base = shard_hash64(kRingSalt ^ shard);
+    for (std::uint64_t vnode = 0; vnode < kVirtualNodes; ++vnode) {
+      ring_.emplace_back(shard_hash64(base + vnode), index);
+    }
+  }
+  // Tie-break point collisions by shard id (via the entry index order of the
+  // sorted-by-shard invariant below) so duplicates are deterministic.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+const ShardMap::Entry& ShardMap::owner(replica::LockId lock_id) const {
+  if (ring_.empty()) {
+    throw std::logic_error("ShardMap::owner() on an empty map");
+  }
+  const std::uint64_t point = shard_hash64(lock_id);
+  // First ring point at or after the lock's hash, wrapping at the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, std::uint64_t value) {
+        return entry.first < value;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return shards_[it->second];
+}
+
+const ShardMap::Entry* ShardMap::find_shard(std::uint32_t shard) const {
+  for (const Entry& entry : shards_) {
+    if (entry.shard == shard) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace mocha::live

@@ -1,0 +1,77 @@
+// live::ShardMap — consistent hashing of lock ids onto lock-server shards.
+//
+// The live lock directory is partitioned: each lock id is owned by exactly
+// one LockServer shard, and every shard runs its own reactor thread on its
+// own endpoint. Clients and servers build the same ShardMap from the same
+// kShardMapReply entries (the registration handshake, docs/PROTOCOL.md §9),
+// so both sides compute identical ownership without any per-lock metadata
+// exchange.
+//
+// The mapping is a classic consistent-hash ring with virtual nodes: every
+// shard id is hashed onto kVirtualNodes ring points, and a lock id is owned
+// by the first ring point at or after its own hash (wrapping). Ring points
+// depend only on the shard *ids* — never on addresses or list order — so any
+// two parties holding the same set of shard ids agree on every lock's owner.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/types.h"
+#include "replica/wire.h"
+
+namespace mocha::live {
+
+// 64-bit finalizer (splitmix64). Both sides of the wire hash with exactly
+// this function; changing it is a routing-protocol break (PROTOCOL.md §9).
+constexpr std::uint64_t shard_hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// NodeId a shard serves under. Shard 0 keeps node 1 — the pre-shard server
+// convention — so a single-shard deployment stays wire-compatible with old
+// clients; higher shards live at 1000+k, clear of client site ids.
+constexpr net::NodeId shard_node(std::uint32_t shard) {
+  return shard == 0 ? 1 : 1000 + shard;
+}
+
+class ShardMap {
+ public:
+  using Entry = replica::ShardMapReplyMsg::Entry;
+  static constexpr std::size_t kVirtualNodes = 64;
+  // Domain separation between ring points and lock-id hashes (ring points
+  // are shard_hash64(shard_hash64(kRingSalt ^ shard) + vnode)); part of the
+  // §9 wire contract, like shard_hash64 itself.
+  static constexpr std::uint64_t kRingSalt = 0x6d6f636861726e67ull;
+
+  ShardMap() = default;  // empty: no sharding, callers fall back to their
+                         // bootstrap server
+  explicit ShardMap(std::vector<Entry> shards);
+
+  bool empty() const { return shards_.empty(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::vector<Entry>& entries() const { return shards_; }
+
+  // Owning shard of `lock_id`. Must not be called on an empty map.
+  const Entry& owner(replica::LockId lock_id) const;
+  std::uint32_t shard_of(replica::LockId lock_id) const {
+    return owner(lock_id).shard;
+  }
+  net::NodeId node_of(replica::LockId lock_id) const {
+    return owner(lock_id).node;
+  }
+
+  // Entry of shard `shard`, or nullptr if the map has no such shard.
+  const Entry* find_shard(std::uint32_t shard) const;
+
+ private:
+  std::vector<Entry> shards_;
+  // (ring point, index into shards_), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace mocha::live

@@ -66,6 +66,12 @@ enum MsgType : std::uint8_t {
   // where that node lives.
   kResolveNode = 23,
   kNodeAddr = 24,
+  // Sharded lock directory (§9): at registration a client asks its bootstrap
+  // shard for the deployment's shard map; the reply lists every shard's
+  // endpoint, and consistent hashing over the shard ids (live::ShardMap)
+  // routes each lock id to exactly one of them.
+  kShardMapRequest = 25,
+  kShardMapReply = 26,
 };
 
 // GRANT flags (paper Fig 5: VERSIONOK / NEEDNEWVERSION, plus the §4
@@ -319,6 +325,63 @@ struct NodeAddrMsg {
     msg.ipv4 = reader.u32();
     msg.udp_port = reader.u16();
     msg.known = reader.u8();
+    return msg;
+  }
+};
+
+// kShardMapRequest: live client -> any lock-server shard ("send me the
+// shard map"). Answered with a kShardMapReply on reply_port.
+struct ShardMapRequestMsg {
+  net::Port reply_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kShardMapRequest);
+    writer.u16(reply_port);
+  }
+  static ShardMapRequestMsg decode(util::WireReader& reader) {
+    ShardMapRequestMsg msg;
+    msg.reply_port = reader.u16();
+    return msg;
+  }
+};
+
+// kShardMapReply: lock-server shard -> live client. One entry per shard of
+// the deployment; ipv4 is in network byte order (as in kNodeAddr), and
+// ipv4 == 0 means "no advertised address" — the client keeps whatever route
+// it already has for that node (e.g. its bootstrap address).
+struct ShardMapReplyMsg {
+  struct Entry {
+    std::uint32_t shard = 0;   // shard id, hashed into the routing ring
+    std::uint32_t node = 0;    // the shard's NodeId on the wire
+    std::uint32_t ipv4 = 0;    // network byte order; 0 = not advertised
+    std::uint16_t udp_port = 0;
+  };
+  std::vector<Entry> shards;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kShardMapReply);
+    writer.u32(static_cast<std::uint32_t>(shards.size()));
+    for (const Entry& entry : shards) {
+      writer.u32(entry.shard);
+      writer.u32(entry.node);
+      writer.u32(entry.ipv4);
+      writer.u16(entry.udp_port);
+    }
+  }
+  static ShardMapReplyMsg decode(util::WireReader& reader) {
+    ShardMapReplyMsg msg;
+    const std::uint32_t count = reader.u32();
+    msg.shards.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Entry entry;
+      entry.shard = reader.u32();
+      entry.node = reader.u32();
+      entry.ipv4 = reader.u32();
+      entry.udp_port = reader.u16();
+      msg.shards.push_back(entry);
+    }
     return msg;
   }
 };

@@ -304,6 +304,51 @@ TEST(LockWireCodec, NodeAddrRoundTrip) {
   EXPECT_EQ(decoded.known, msg.known);
 }
 
+TEST(LockWireCodec, ShardMapRequestRoundTrip) {
+  replica::ShardMapRequestMsg msg;
+  msg.reply_port = 901;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kShardMapRequest);
+  const auto decoded = replica::ShardMapRequestMsg::decode(reader);
+  EXPECT_EQ(decoded.reply_port, msg.reply_port);
+}
+
+TEST(LockWireCodec, ShardMapReplyRoundTrip) {
+  replica::ShardMapReplyMsg msg;
+  // Entry 0: the bootstrap shard advertising no address (ipv4 == 0 means
+  // "keep your existing route"); entry 1: a fully-advertised shard.
+  msg.shards.push_back({0, 1, 0, 0});
+  msg.shards.push_back({1, 1001, 0x0100007f, 9001});
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kShardMapReply);
+  const auto decoded = replica::ShardMapReplyMsg::decode(reader);
+  ASSERT_EQ(decoded.shards.size(), msg.shards.size());
+  for (std::size_t i = 0; i < msg.shards.size(); ++i) {
+    EXPECT_EQ(decoded.shards[i].shard, msg.shards[i].shard);
+    EXPECT_EQ(decoded.shards[i].node, msg.shards[i].node);
+    EXPECT_EQ(decoded.shards[i].ipv4, msg.shards[i].ipv4);
+    EXPECT_EQ(decoded.shards[i].udp_port, msg.shards[i].udp_port);
+  }
+}
+
+TEST(LockWireCodec, TruncatedShardMapReplyThrows) {
+  replica::ShardMapReplyMsg msg;
+  msg.shards.push_back({0, 1, 0, 0});
+  msg.shards.push_back({1, 1001, 0x0100007f, 9001});
+  util::Buffer wire;
+  msg.encode(wire);
+  wire.resize(wire.size() - 3);  // cut inside the last entry
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kShardMapReply);
+  EXPECT_THROW(replica::ShardMapReplyMsg::decode(reader), util::CodecError);
+}
+
 TEST(LockWireCodec, TruncatedLockMessagesThrow) {
   replica::GrantMsg msg;
   msg.holders = {1, 2, 3};

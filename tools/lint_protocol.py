@@ -233,6 +233,32 @@ def self_test(files: dict[str, str]) -> int:
     if not any("kGhost" in f and "src/live/" in f for f in found):
         failures.append(f"live-coverage gap not flagged: {found}")
 
+    # The §9 shard-map handshake: dropping the kShardMapRequest round-trip
+    # from the conformance test must be flagged (the value survives as
+    # arithmetic so only the enumerator reference disappears, exactly what
+    # a careless refactor would leave behind).
+    broken = mutate(
+        files,
+        CONFORMANCE_TEST,
+        "reader.u8(), replica::kShardMapRequest",
+        "reader.u8(), replica::kNodeAddr + 1",
+    )
+    found = run_lint(broken)
+    if not any("kShardMapRequest" in f and "not exercised" in f for f in found):
+        failures.append(
+            f"missing shard-map conformance coverage not flagged: {found}"
+        )
+
+    # A shard-map enumerator colliding with the resolve family must be
+    # flagged (same class of bug as the historic kGrant/kRefreshCached
+    # collision, now guarding the 24/25/26 range).
+    broken = mutate(
+        files, WIRE_HEADER, "kShardMapRequest = 25", "kShardMapRequest = 24"
+    )
+    found = run_lint(broken)
+    if not any("value 24" in f and "kShardMapRequest" in f for f in found):
+        failures.append(f"shard-map MsgType collision not flagged: {found}")
+
     # Removing a dispatcher case must be flagged for that backend.
     broken = mutate(
         files, "src/net/mochanet.cc", "case FrameType::kNack", "case kNackGone"

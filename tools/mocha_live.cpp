@@ -1,19 +1,40 @@
 // mocha_live — run the MochaNet lock protocol between real OS processes.
 //
-// Server (the synchronization thread, paper §3):
-//   mocha_live --server --port 7000 [--stats-file stats.json]
-//              [--ready-file ready] [--lease-grace-us N]
-//   Serves until SIGTERM/SIGINT, then writes stats and exits 0.
+// Server (the synchronization thread, paper §3; sharded per PROTOCOL.md §9):
+//   mocha_live --server --port 7000 [--shards N] [--stats-file stats.json]
+//              [--ready-file ready] [--lease-grace-us N] [--advertise HOST]
+//   Hosts N lock-directory shards in this process (default 1), one reactor
+//   thread + endpoint each; shard 0 is node 1 on --port (0 = ephemeral),
+//   shard k is node 1000+k on --port+k (or another ephemeral port). The
+//   ready file lists every hosted shard's UDP port, space-separated, shard 0
+//   first. Clients fetch the shard map from any shard at registration;
+//   --advertise sets the address the map hands out (default 127.0.0.1).
+//   Serves until SIGTERM/SIGINT, then writes stats and exits 0. The stats
+//   JSON keeps the historical aggregate keys and adds a per-shard "shards"
+//   array (queued waiters, active leases, reactor iterations, epoll batch).
 //
-// Client (workload driver: N acquire/release rounds on one lock):
+//   Multi-process sharding: run one process per shard with --shard-id K and
+//   the full fixed-port deployment in --shard-addrs HOST:PORT,HOST:PORT,...
+//   (shard order; every process passes the same list).
+//
+// Client (workload driver: N acquire/release rounds per simulated client):
 //   mocha_live --client --site 2 --server-addr 127.0.0.1:7000 --rounds 1000
 //              [--port 0] [--lock 1] [--hold-us 0] [--shared]
+//              [--clients M] [--distinct-locks] [--latency-dump-file F]
 //              [--counter-file F] [--bench-json-dir D] [--quiet]
-//   Reports p50/p99 lock-acquire latency and round throughput; with
+//   --server-addr points at any shard (the bootstrap); the client fetches
+//   the shard map from it and routes each lock to its owning shard. With
+//   --clients M it runs M simulated clients (LockClient threads sharing the
+//   endpoint, disjoint reply-port ranges); --distinct-locks gives client i
+//   lock --lock+i (uncontended scaling workloads; --counter-file assumes a
+//   single shared lock, do not combine). Reports p50/p99 lock-acquire
+//   latency and aggregate round throughput over all clients; with
 //   --counter-file it performs a non-atomic read-increment-write on the file
 //   while holding the lock, so lost updates expose any mutual-exclusion
-//   violation. With --bench-json-dir it writes BENCH_live_lock_acquire.json.
-//   Exits 0 only if every round succeeded.
+//   violation; --latency-dump-file writes every acquire latency (us, one
+//   per line) for cross-process percentile merging. With --bench-json-dir it
+//   writes BENCH_<bench-name>.json (default live_lock_acquire). Exits 0
+//   only if every round succeeded.
 //
 // Transfer workload (client): instead of lock rounds, push --rounds messages
 // of --bytes each (over --concurrency parallel streams) to the server and
@@ -56,6 +77,8 @@
 //
 // Two machines: start the server on one host, point --server-addr at it from
 // the others, give every client a distinct --site id ≥ 2.
+#include <arpa/inet.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -64,9 +87,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "live/clock.h"
@@ -74,6 +99,7 @@
 #include "live/endpoint.h"
 #include "live/lock_client.h"
 #include "live/lock_server.h"
+#include "live/shard_map.h"
 #include "replica/wire.h"
 #include "util/metrics.h"
 
@@ -109,6 +135,15 @@ struct Args {
   std::string ready_file;
   std::int64_t lease_grace_us = 300'000;
   bool quiet = false;
+  // Sharded lock directory (server)
+  int shards = 1;
+  int shard_id = -1;          // >= 0: host exactly this shard (multi-process)
+  std::string shard_addrs;    // host:port,... for all shards, shard order
+  std::string advertise = "127.0.0.1";  // address handed out in the map
+  // Simulated clients (client lock workload)
+  int clients = 1;
+  bool distinct_locks = false;
+  std::string latency_dump_file;
   // Transfer workload
   bool transfer = false;
   std::uint64_t bytes = 4096;
@@ -137,7 +172,8 @@ double time_scale() {
   return scale > 0 ? scale : 1.0;
 }
 
-mocha::live::EndpointOptions make_endpoint_options(const Args& args) {
+mocha::live::EndpointOptions make_endpoint_options(const Args& args,
+                                                   std::uint32_t seed_salt = 0) {
   mocha::live::EndpointOptions opts;
   opts.recv_loss_pct = args.loss_pct;
   opts.recv_delay_us = args.delay_us;
@@ -154,8 +190,10 @@ mocha::live::EndpointOptions make_endpoint_options(const Args& args) {
       opts.recv_delay_us = std::strtoll(env, nullptr, 10);
     }
   }
-  // Distinct loss patterns per process, deterministic per site.
-  opts.netem_seed = 0x6d6f636861u + args.site * 2654435761u;
+  // Distinct loss patterns per process (and per server shard), deterministic
+  // per (site, salt).
+  opts.netem_seed =
+      0x6d6f636861u + (args.site + seed_salt * 97u) * 2654435761u;
   if (args.rto_us > 0) opts.rto_us = args.rto_us;
   if (args.ack_delay_us >= 0) opts.ack_delay_us = args.ack_delay_us;
   if (args.fixed_rto) {
@@ -170,9 +208,13 @@ mocha::live::EndpointOptions make_endpoint_options(const Args& args) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --server --port P [--stats-file F] [--ready-file F]\n"
+               "usage: %s --server --port P [--shards N] [--shard-id K"
+               " --shard-addrs H:P,...] [--advertise HOST]\n"
+               "          [--stats-file F] [--ready-file F]\n"
                "       %s --client --site N --server-addr HOST:PORT "
                "--rounds N [--port P] [--lock ID] [--hold-us N] [--shared]\n"
+               "          [--clients M] [--distinct-locks]"
+               " [--latency-dump-file F]\n"
                "          [--counter-file F] [--bench-json-dir D] [--quiet]\n"
                "       %s --client --transfer --site N --server-addr HOST:PORT"
                " --rounds N\n"
@@ -205,8 +247,34 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.quiet = true;
     } else if (arg == "--transfer") {
       args.transfer = true;
+    } else if (arg == "--distinct-locks") {
+      args.distinct_locks = true;
     } else if (arg == "--fixed-rto") {
       args.fixed_rto = true;
+    } else if (arg == "--shards") {
+      const char* v = value();
+      if (!v) return false;
+      args.shards = std::atoi(v);
+    } else if (arg == "--shard-id") {
+      const char* v = value();
+      if (!v) return false;
+      args.shard_id = std::atoi(v);
+    } else if (arg == "--shard-addrs") {
+      const char* v = value();
+      if (!v) return false;
+      args.shard_addrs = v;
+    } else if (arg == "--advertise") {
+      const char* v = value();
+      if (!v) return false;
+      args.advertise = v;
+    } else if (arg == "--clients") {
+      const char* v = value();
+      if (!v) return false;
+      args.clients = std::atoi(v);
+    } else if (arg == "--latency-dump-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.latency_dump_file = v;
     } else if (arg == "--bytes") {
       const char* v = value();
       if (!v) return false;
@@ -307,61 +375,224 @@ bool parse_args(int argc, char** argv, Args& args) {
   return true;
 }
 
+// host:port,host:port,... in shard order (the whole deployment).
+std::vector<std::pair<std::string, std::uint16_t>> parse_shard_addrs(
+    const std::string& csv) {
+  std::vector<std::pair<std::string, std::uint16_t>> addrs;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    const std::size_t colon = token.rfind(':');
+    if (colon != std::string::npos) {
+      addrs.emplace_back(
+          token.substr(0, colon),
+          static_cast<std::uint16_t>(
+              std::strtoul(token.c_str() + colon + 1, nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return addrs;
+}
+
+// One hosted lock-directory shard: endpoint + reactor-driven server + home
+// replica daemon (the §4 pull-retry target for the shard's locks).
+struct ShardHost {
+  std::uint32_t shard = 0;
+  std::unique_ptr<mocha::live::Endpoint> endpoint;
+  std::unique_ptr<mocha::live::LockServer> server;
+  std::unique_ptr<mocha::live::DaemonService> daemon;
+};
+
 int run_server(const Args& args) {
-  mocha::live::Endpoint endpoint(kServerNode,
-                                 static_cast<std::uint16_t>(args.port),
-                                 make_endpoint_options(args));
-  mocha::live::LockServerOptions opts;
-  opts.lease_grace_us = args.lease_grace_us;
-  mocha::live::LockServer server(endpoint, opts);
-  server.start();
-  // Home replica daemon: the retry target when a client's direct pull from
-  // the last owner times out (live::LockClient's §4 fallback), and the push
-  // destination for future UR dissemination.
-  mocha::live::DaemonService daemon(endpoint);
-  daemon.start();
-  // Transfer workload sink: drain (and discard) payloads pushed to the
+  const auto shard_count =
+      static_cast<std::uint32_t>(std::max(1, args.shards));
+  const auto fixed_addrs = parse_shard_addrs(args.shard_addrs);
+  if (args.shard_id >= 0 &&
+      (fixed_addrs.size() != shard_count ||
+       static_cast<std::uint32_t>(args.shard_id) >= shard_count)) {
+    std::fprintf(stderr,
+                 "--shard-id requires --shards N and --shard-addrs with "
+                 "exactly N entries\n");
+    return 64;
+  }
+
+  // Shards hosted by THIS process: all of them (single-process --shards N)
+  // or exactly one (--shard-id K in a multi-process deployment).
+  std::vector<std::uint32_t> hosted;
+  if (args.shard_id >= 0) {
+    hosted.push_back(static_cast<std::uint32_t>(args.shard_id));
+  } else {
+    for (std::uint32_t s = 0; s < shard_count; ++s) hosted.push_back(s);
+  }
+
+  std::vector<ShardHost> shards;
+  shards.reserve(hosted.size());
+  for (const std::uint32_t s : hosted) {
+    std::uint16_t port = 0;
+    if (!fixed_addrs.empty()) {
+      port = fixed_addrs[s].second;
+    } else if (args.port != 0) {
+      port = static_cast<std::uint16_t>(args.port + static_cast<int>(s));
+    }
+    ShardHost host;
+    host.shard = s;
+    host.endpoint = std::make_unique<mocha::live::Endpoint>(
+        mocha::live::shard_node(s), port, make_endpoint_options(args, s));
+    shards.push_back(std::move(host));
+  }
+
+  // The deployment-wide shard map every shard serves to registering
+  // clients. Hosted shards advertise --advertise + their bound port; with
+  // --shard-addrs the whole map is fixed up front.
+  std::vector<mocha::live::ShardMap::Entry> entries;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    mocha::live::ShardMap::Entry entry;
+    entry.shard = s;
+    entry.node = mocha::live::shard_node(s);
+    std::string host = args.advertise;
+    if (!fixed_addrs.empty()) {
+      host = fixed_addrs[s].first;
+      entry.udp_port = fixed_addrs[s].second;
+    } else {
+      for (const ShardHost& hosted_shard : shards) {
+        if (hosted_shard.shard == s) {
+          entry.udp_port = hosted_shard.endpoint->udp_port();
+        }
+      }
+    }
+    in_addr ip{};
+    if (::inet_pton(AF_INET, host.c_str(), &ip) == 1) {
+      entry.ipv4 = ip.s_addr;  // network byte order
+    }
+    entries.push_back(entry);
+  }
+  const mocha::live::ShardMap shard_map(entries);
+
+  for (ShardHost& host : shards) {
+    mocha::live::LockServerOptions opts;
+    opts.lease_grace_us = args.lease_grace_us;
+    opts.shard_id = host.shard;
+    host.server =
+        std::make_unique<mocha::live::LockServer>(*host.endpoint, opts);
+    host.server->set_shard_map(shard_map);
+    host.server->start();
+    host.daemon = std::make_unique<mocha::live::DaemonService>(*host.endpoint);
+    host.daemon->start();
+  }
+
+  // Transfer workload sink: drain (and discard) payloads pushed to shard 0's
   // transfer port so they do not pile up in the delivery queue.
-  std::thread transfer_drain([&endpoint] {
+  mocha::live::Endpoint& front = *shards.front().endpoint;
+  std::thread transfer_drain([&front] {
     while (!g_stop) {
-      (void)endpoint.recv_for(kTransferPort, 50'000);
+      (void)front.recv_for(kTransferPort, 50'000);
     }
   });
+
   if (!args.ready_file.empty()) {
-    std::ofstream(args.ready_file) << endpoint.udp_port() << "\n";
+    std::ofstream ready(args.ready_file);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      ready << (i == 0 ? "" : " ") << shards[i].endpoint->udp_port();
+    }
+    ready << "\n";
   }
   if (!args.quiet) {
-    std::printf("mocha_live server: node %u on udp port %u\n", kServerNode,
-                endpoint.udp_port());
+    for (const ShardHost& host : shards) {
+      std::printf("mocha_live server: shard %u (node %u) on udp port %u\n",
+                  host.shard, host.endpoint->node(),
+                  host.endpoint->udp_port());
+    }
     std::fflush(stdout);
   }
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   transfer_drain.join();
-  daemon.stop();
-  server.stop();
-  const auto stats = server.stats();
-  const auto daemon_stats = daemon.stats();
+  for (ShardHost& host : shards) {
+    host.daemon->stop();
+    host.server->stop();
+  }
+
+  // Pre-exit linger, multi-shard audit fix: EVERY shard's retransmit queues
+  // must drain before the process exits (a final GRANT can sit in any
+  // shard's window), all under one shared deadline so a wedged shard cannot
+  // multiply the worst-case linger by the shard count.
+  const std::int64_t flush_deadline =
+      mocha::live::Clock::monotonic().now_us() +
+      static_cast<std::int64_t>(2'000'000LL * time_scale());
+  for (ShardHost& host : shards) {
+    const std::int64_t remaining =
+        flush_deadline - mocha::live::Clock::monotonic().now_us();
+    if (remaining <= 0) break;
+    host.endpoint->flush(remaining);
+  }
+
+  mocha::live::LockServer::Stats total;
+  mocha::live::DaemonService::Stats daemon_total;
+  std::vector<mocha::live::LockServer::Stats> per_shard;
+  std::vector<mocha::live::DaemonService::Stats> per_daemon;
+  for (const ShardHost& host : shards) {
+    const auto stats = host.server->stats();
+    const auto daemon_stats = host.daemon->stats();
+    total.grants += stats.grants;
+    total.releases += stats.releases;
+    total.locks_broken += stats.locks_broken;
+    total.registrations += stats.registrations;
+    total.resolves += stats.resolves;
+    total.shard_map_requests += stats.shard_map_requests;
+    daemon_total.transfers_served += daemon_stats.transfers_served;
+    daemon_total.transfers_applied += daemon_stats.transfers_applied;
+    per_shard.push_back(stats);
+    per_daemon.push_back(daemon_stats);
+  }
+
   if (!args.stats_file.empty()) {
     std::ofstream out(args.stats_file);
+    // Aggregate keys first (existing consumers), then the per-shard array.
     out << "{\n"
-        << "  \"grants\": " << stats.grants << ",\n"
-        << "  \"releases\": " << stats.releases << ",\n"
-        << "  \"locks_broken\": " << stats.locks_broken << ",\n"
-        << "  \"registrations\": " << stats.registrations << ",\n"
-        << "  \"resolves\": " << stats.resolves << ",\n"
-        << "  \"transfers_served\": " << daemon_stats.transfers_served << ",\n"
-        << "  \"transfers_applied\": " << daemon_stats.transfers_applied
-        << "\n"
+        << "  \"grants\": " << total.grants << ",\n"
+        << "  \"releases\": " << total.releases << ",\n"
+        << "  \"locks_broken\": " << total.locks_broken << ",\n"
+        << "  \"registrations\": " << total.registrations << ",\n"
+        << "  \"resolves\": " << total.resolves << ",\n"
+        << "  \"shard_map_requests\": " << total.shard_map_requests << ",\n"
+        << "  \"transfers_served\": " << daemon_total.transfers_served
+        << ",\n"
+        << "  \"transfers_applied\": " << daemon_total.transfers_applied
+        << ",\n"
+        << "  \"shards\": [\n";
+    for (std::size_t i = 0; i < per_shard.size(); ++i) {
+      const auto& s = per_shard[i];
+      out << "    {\"shard\": " << s.shard_id
+          << ", \"grants\": " << s.grants
+          << ", \"releases\": " << s.releases
+          << ", \"locks_broken\": " << s.locks_broken
+          << ", \"registrations\": " << s.registrations
+          << ", \"resolves\": " << s.resolves
+          << ", \"shard_map_requests\": " << s.shard_map_requests
+          << ", \"queued_waiters\": " << s.queued_waiters
+          << ", \"active_leases\": " << s.active_leases
+          << ", \"reactor_iterations\": " << s.reactor_iterations
+          << ", \"reactor_timers_fired\": " << s.reactor_timers_fired
+          << ", \"max_epoll_batch\": " << s.max_epoll_batch
+          << ", \"transfers_served\": " << per_daemon[i].transfers_served
+          << ", \"transfers_applied\": " << per_daemon[i].transfers_applied
+          << "}" << (i + 1 < per_shard.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n"
         << "}\n";
   }
   if (!args.quiet) {
     std::printf(
-        "mocha_live server: %llu grants, %llu releases, %llu broken locks\n",
-        static_cast<unsigned long long>(stats.grants),
-        static_cast<unsigned long long>(stats.releases),
-        static_cast<unsigned long long>(stats.locks_broken));
+        "mocha_live server: %llu grants, %llu releases, %llu broken locks "
+        "across %zu shard(s)\n",
+        static_cast<unsigned long long>(total.grants),
+        static_cast<unsigned long long>(total.releases),
+        static_cast<unsigned long long>(total.locks_broken), shards.size());
   }
   return 0;
 }
@@ -538,7 +769,8 @@ bool version_barrier(mocha::live::LockClient& plain,
 // every NEED_NEW_VERSION acquire pulls the replica bundle from the previous
 // owner's daemon before returning. The measured latency is the full
 // acquire-with-transfer (grant round trip + directive + bundle transfer).
-int run_replica(const Args& args, mocha::live::Endpoint& endpoint) {
+int run_replica(const Args& args, mocha::live::Endpoint& endpoint,
+                const mocha::live::ShardMap& shard_map) {
   const std::vector<std::uint64_t> sizes = parse_sizes(args.replica_bytes);
   if (sizes.empty()) {
     std::fprintf(stderr, "--replica-bytes: no sizes parsed\n");
@@ -554,6 +786,7 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint) {
   copts.transfer_timeout_us =
       static_cast<std::int64_t>(2'000'000 * scale);
   mocha::live::LockClient client(endpoint, kServerNode, copts, &daemon);
+  client.set_shard_map(shard_map);
 
   // Size i rides lock --lock + i; the barrier counter gets its own lock (and
   // is itself a replicated object, so the rendezvous exercises transfers).
@@ -606,6 +839,7 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint) {
   mocha::live::LockClientOptions barrier_opts = copts;
   barrier_opts.reply_port_base = 5000;
   mocha::live::LockClient plain(endpoint, kServerNode, barrier_opts);
+  plain.set_shard_map(shard_map);
   const mocha::replica::LockId arrive_lock =
       args.lock + static_cast<std::uint32_t>(sizes.size());
   const mocha::replica::LockId depart_lock = arrive_lock + 1;
@@ -726,90 +960,158 @@ int run_client(const Args& args) {
                                  make_endpoint_options(args));
   endpoint.add_peer(kServerNode, host, server_port);
   if (args.transfer) return run_transfer(args, endpoint);
-  if (!args.replica_bytes.empty()) return run_replica(args, endpoint);
-  mocha::live::LockClient client(endpoint, kServerNode);
-  client.register_lock(args.lock);
+
+  // Registration handshake (§9): learn the shard map from the bootstrap
+  // shard so every lock routes to its owning shard. A pre-shard server that
+  // never answers leaves the map empty — all traffic stays on the bootstrap.
+  mocha::live::ShardMap shard_map;
+  {
+    mocha::live::LockClientOptions probe_opts;
+    probe_opts.reply_port_base = 900;  // below the per-client ranges
+    mocha::live::LockClient probe(endpoint, kServerNode, probe_opts);
+    const mocha::util::Status fetched = probe.fetch_shard_map(
+        static_cast<std::int64_t>(5'000'000 * time_scale()));
+    if (fetched.is_ok()) {
+      shard_map = probe.shard_map();
+    } else if (!args.quiet) {
+      std::fprintf(stderr,
+                   "client %u: shard-map fetch failed (%s); routing all "
+                   "locks to the bootstrap server\n",
+                   args.site, fetched.to_string().c_str());
+    }
+  }
+  if (!args.replica_bytes.empty()) {
+    return run_replica(args, endpoint, shard_map);
+  }
 
   const auto mode = args.shared ? mocha::replica::LockWireMode::kShared
                                 : mocha::replica::LockWireMode::kExclusive;
-  std::vector<std::int64_t> latencies_us;
-  latencies_us.reserve(args.rounds);
+  const int clients = std::max(1, args.clients);
+
+  // One simulated client = one LockClient on its own thread; all share the
+  // endpoint (one site on the wire) with disjoint reply-port ranges and
+  // nonce spaces.
+  struct ClientResult {
+    std::vector<std::int64_t> latencies_us;
+    std::uint64_t rounds_done = 0;
+    bool failed = false;
+  };
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
   const std::int64_t t_start = mocha::live::Clock::monotonic().now_us();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientResult& result = results[static_cast<std::size_t>(c)];
+      mocha::live::LockClientOptions copts;
+      copts.reply_port_base =
+          static_cast<mocha::net::Port>(1000 + c * 64);
+      copts.nonce_seed = static_cast<std::uint64_t>(copts.reply_port_base)
+                         << 32;
+      mocha::live::LockClient client(endpoint, kServerNode, copts);
+      client.set_shard_map(shard_map);
+      const mocha::replica::LockId lock_id =
+          args.lock + (args.distinct_locks ? static_cast<std::uint32_t>(c)
+                                           : 0u);
+      client.register_lock(lock_id);
+      result.latencies_us.reserve(args.rounds);
+      for (std::uint64_t round = 0; round < args.rounds; ++round) {
+        if (g_stop) {
+          std::fprintf(stderr, "client %u.%d: interrupted at round %llu\n",
+                       args.site, c, static_cast<unsigned long long>(round));
+          result.failed = true;
+          return;
+        }
+        mocha::util::Status acquired = client.acquire(lock_id, mode);
+        if (!acquired.is_ok()) {
+          std::fprintf(stderr,
+                       "client %u.%d: acquire failed at round %llu: %s\n",
+                       args.site, c, static_cast<unsigned long long>(round),
+                       acquired.to_string().c_str());
+          result.failed = true;
+          return;
+        }
+        result.latencies_us.push_back(client.last_grant_latency_us());
 
-  for (std::uint64_t round = 0; round < args.rounds; ++round) {
-    if (g_stop) {
-      std::fprintf(stderr, "client %u: interrupted at round %llu\n", args.site,
-                   static_cast<unsigned long long>(round));
-      return 1;
-    }
-    mocha::util::Status acquired = client.acquire(args.lock, mode);
-    if (!acquired.is_ok()) {
-      std::fprintf(stderr, "client %u: acquire failed at round %llu: %s\n",
-                   args.site, static_cast<unsigned long long>(round),
-                   acquired.to_string().c_str());
-      return 1;
-    }
-    latencies_us.push_back(client.last_grant_latency_us());
-
-    if (!args.counter_file.empty() && !bump_counter(args.counter_file)) {
-      std::fprintf(stderr, "client %u: cannot update counter file %s\n",
-                   args.site, args.counter_file.c_str());
-      (void)client.release(args.lock);
-      return 1;
-    }
-    if (args.hold_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(args.hold_us));
-    }
-    mocha::util::Status released = client.release(args.lock);
-    if (!released.is_ok()) {
-      std::fprintf(stderr, "client %u: release failed at round %llu: %s\n",
-                   args.site, static_cast<unsigned long long>(round),
-                   released.to_string().c_str());
-      return 1;
-    }
+        if (!args.counter_file.empty() &&
+            !bump_counter(args.counter_file)) {
+          std::fprintf(stderr, "client %u.%d: cannot update counter file %s\n",
+                       args.site, c, args.counter_file.c_str());
+          (void)client.release(lock_id);
+          result.failed = true;
+          return;
+        }
+        if (args.hold_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(args.hold_us));
+        }
+        mocha::util::Status released = client.release(lock_id);
+        if (!released.is_ok()) {
+          std::fprintf(stderr,
+                       "client %u.%d: release failed at round %llu: %s\n",
+                       args.site, c, static_cast<unsigned long long>(round),
+                       released.to_string().c_str());
+          result.failed = true;
+          return;
+        }
+        ++result.rounds_done;
+      }
+    });
   }
+  for (auto& worker : workers) worker.join();
   const std::int64_t elapsed_us =
       mocha::live::Clock::monotonic().now_us() - t_start;
 
+  bool failed = false;
+  std::uint64_t total_rounds = 0;
+  std::vector<std::int64_t> latencies_us;
+  for (const ClientResult& result : results) {
+    failed = failed || result.failed;
+    total_rounds += result.rounds_done;
+    latencies_us.insert(latencies_us.end(), result.latencies_us.begin(),
+                        result.latencies_us.end());
+  }
   std::sort(latencies_us.begin(), latencies_us.end());
-  auto percentile = [&](double p) -> double {
-    if (latencies_us.empty()) return 0.0;
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(latencies_us.size() - 1));
-    return static_cast<double>(latencies_us[idx]);
-  };
+  auto percentile = [&](double p) { return percentile_us(latencies_us, p); };
   double sum = 0;
   for (std::int64_t v : latencies_us) sum += static_cast<double>(v);
   const double mean = latencies_us.empty()
                           ? 0.0
                           : sum / static_cast<double>(latencies_us.size());
+  // Aggregate lock throughput over every simulated client in this process.
   const double throughput =
-      elapsed_us > 0 ? static_cast<double>(args.rounds) * 1e6 /
+      elapsed_us > 0 ? static_cast<double>(total_rounds) * 1e6 /
                            static_cast<double>(elapsed_us)
                      : 0.0;
 
   if (!args.quiet) {
     std::printf(
-        "client %u: %llu rounds in %.1f ms | acquire p50 %.0f us  p99 %.0f us"
-        "  mean %.0f us | %.0f rounds/s | %llu retransmissions\n",
-        args.site, static_cast<unsigned long long>(args.rounds),
+        "client %u: %d client(s), %llu rounds in %.1f ms | acquire p50 %.0f "
+        "us  p99 %.0f us  mean %.0f us | %.0f locks/s | %llu "
+        "retransmissions\n",
+        args.site, clients, static_cast<unsigned long long>(total_rounds),
         static_cast<double>(elapsed_us) / 1000.0, percentile(0.50),
         percentile(0.99), mean, throughput,
         static_cast<unsigned long long>(endpoint.retransmissions()));
   }
+  if (!args.latency_dump_file.empty()) {
+    std::ofstream dump(args.latency_dump_file, std::ios::trunc);
+    for (std::int64_t v : latencies_us) dump << v << "\n";
+  }
   if (!args.bench_json_dir.empty()) {
     mocha::util::write_bench_json(
-        "live_lock_acquire",
+        args.bench_name.empty() ? "live_lock_acquire" : args.bench_name,
         {{"p50_latency", percentile(0.50), "us"},
          {"p99_latency", percentile(0.99), "us"},
          {"mean_latency", mean, "us"},
-         {"throughput", throughput, "rounds/s"}},
+         {"throughput", throughput, "rounds/s"},
+         {"clients", static_cast<double>(clients), "count"}},
         args.bench_json_dir);
   }
   // The last RELEASE is fire-and-forget; don't exit while its retransmit
   // timer may still own delivery (injected loss would strand it).
   endpoint.flush(2'000'000LL * time_scale());
-  return 0;
+  return failed ? 1 : 0;
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the two gated live-runtime benches with the deterministic userspace
+# Runs the gated live-runtime benches with the deterministic userspace
 # WAN emulation (seeded per site, so loss patterns reproduce) and leaves
 #
 #   BENCH_live_wan.json       — adaptive transport, 100 x 4 KiB transfers
@@ -9,10 +9,15 @@
 #                               (20 ms one-way delay, no loss: the p99 gate
 #                               needs a tight tail; loss resilience is the
 #                               WAN bench's and the loss-injection lane's job)
+#   BENCH_live_shards.json    — sharded lock-directory sweep: acquire
+#                               p50/p99 and aggregate locks/sec at 1/2/4
+#                               shards, 128 simulated clients on distinct
+#                               locks over raw loopback (no netem: this
+#                               measures grant-dispatch scaling, not the WAN)
 #
 # in OUTDIR. The bench-gate CI job compares these against the committed
 # bench/baselines/ via tools/check_bench.py; regenerate baselines by running
-# this script and copying the two files there.
+# this script and copying the files there.
 #
 # Usage: run_live_benches.sh <mocha_live-binary> <outdir>
 set -euo pipefail
@@ -23,11 +28,13 @@ mkdir -p "$OUT"
 
 WAN_FLAGS=(--loss-pct 2 --delay-us 20000)
 
-wait_ready() { # <ready-file> -> echoes the server port
+wait_ready() { # <ready-file> -> echoes the server's first (bootstrap) port
+  # Sharded servers write one space-separated port per shard; clients dial
+  # the first (shard 0) and learn the rest from the kShardMapReply.
   local ready=$1 port=""
   for _ in $(seq 100); do
     sleep 0.1
-    port=$(cat "$ready" 2>/dev/null || true)
+    port=$(awk '{print $1; exit}' "$ready" 2>/dev/null || true)
     [ -n "$port" ] && break
   done
   [ -n "$port" ] || { echo "server never became ready" >&2; exit 1; }
@@ -62,6 +69,76 @@ C3=$!
 wait "$C2"
 wait "$C3"
 kill -TERM "$SERVER" && wait "$SERVER"
+
+# --- 3. Shard-sweep bench (BENCH_live_shards.json) ---
+# Aggregate lock-directory throughput at 1, 2 and 4 shards: one server
+# process hosting all shards (one reactor thread each), 4 client processes
+# x 32 simulated clients = 128 clients on distinct lock ids (disjoint
+# per-process bases, so every acquire is uncontended and the measurement is
+# pure grant-dispatch work). Raw loopback, no netem.
+SWEEP_ROUNDS=40
+for S in 1 2 4; do
+  "$BIN" --server --port 0 --shards "$S" \
+    --ready-file "$OUT/ready_shards_$S" \
+    --stats-file "$OUT/shard_server_stats_s$S.json" --quiet &
+  SERVER=$!
+  PORT=$(wait_ready "$OUT/ready_shards_$S")
+  PIDS=()
+  for P in 1 2 3 4; do
+    "$BIN" --client --site $((1 + P)) --server-addr "127.0.0.1:$PORT" \
+      --clients 32 --distinct-locks --lock $((P * 1000)) \
+      --rounds "$SWEEP_ROUNDS" \
+      --latency-dump-file "$OUT/shard_lat_s${S}_p${P}" \
+      --bench-json-dir "$OUT" --bench-name "live_shards_s${S}_p${P}" \
+      --quiet &
+    PIDS+=($!)
+  done
+  for pid in "${PIDS[@]}"; do wait "$pid"; done
+  kill -TERM "$SERVER" && wait "$SERVER"
+done
+
+# Merge the four per-process results per shard count into the single gated
+# JSON: percentiles over the union of all 5120 acquire latencies, aggregate
+# locks/sec as the sum of the concurrent processes' throughputs, and the
+# scaling ratios. scaling_x4_inverse (s1 rate / s4 rate) is the gated form:
+# check_bench.py is lower-is-better, so losing the multi-shard speedup makes
+# the inverse grow past its envelope.
+python3 - "$OUT" <<'PY'
+import json, sys
+out = sys.argv[1]
+
+metrics = []
+rate = {}
+for s in (1, 2, 4):
+    lat = []
+    for p in (1, 2, 3, 4):
+        with open(f"{out}/shard_lat_s{s}_p{p}") as f:
+            lat.extend(int(line) for line in f if line.strip())
+    lat.sort()
+    if not lat:
+        sys.exit(f"shard sweep s={s}: no latency samples")
+    q = lambda p: float(lat[min(len(lat) - 1, int(p * (len(lat) - 1) + 0.5))])
+    rate[s] = 0.0
+    for p in (1, 2, 3, 4):
+        with open(f"{out}/BENCH_live_shards_s{s}_p{p}.json") as f:
+            doc = json.load(f)
+        rate[s] += next(m["value"] for m in doc["metrics"]
+                        if m["name"] == "throughput")
+    metrics.append({"name": f"p50_acquire_s{s}", "value": q(0.50), "unit": "us"})
+    metrics.append({"name": f"p99_acquire_s{s}", "value": q(0.99), "unit": "us"})
+    metrics.append({"name": f"locks_per_sec_s{s}", "value": rate[s],
+                    "unit": "rounds/s"})
+
+metrics.append({"name": "scaling_x2", "value": rate[2] / rate[1], "unit": "x"})
+metrics.append({"name": "scaling_x4", "value": rate[4] / rate[1], "unit": "x"})
+metrics.append({"name": "scaling_x4_inverse", "value": rate[1] / rate[4],
+                "unit": "x"})
+with open(f"{out}/BENCH_live_shards.json", "w") as f:
+    json.dump({"name": "live_shards", "metrics": metrics}, f, indent=2)
+    f.write("\n")
+print(f"shard sweep: x2 {rate[2]/rate[1]:.2f}  x4 {rate[4]/rate[1]:.2f}  "
+      f"({rate[1]:.0f} -> {rate[4]:.0f} locks/s)")
+PY
 
 echo "bench JSON written to $OUT:"
 ls -l "$OUT"/BENCH_*.json
