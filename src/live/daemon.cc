@@ -21,7 +21,17 @@ util::Buffer marshal_bundle(
   return bundle;
 }
 
-DaemonService::DaemonService(Endpoint& endpoint) : endpoint_(endpoint) {}
+namespace {
+// How long the serving daemon lets the fast backend chew on one bundle
+// before giving up and falling back to the endpoint's UDP path.
+constexpr std::int64_t kFastBulkSendTimeoutUs = 2'000'000;
+}  // namespace
+
+DaemonService::DaemonService(Endpoint& endpoint, BulkBackend bulk)
+    : endpoint_(endpoint),
+      bulk_kind_(bulk),
+      fast_bulk_(bulk == BulkBackend::kUdp ? nullptr
+                                           : make_bulk_backend(bulk, endpoint)) {}
 
 DaemonService::~DaemonService() { stop(); }
 
@@ -29,12 +39,16 @@ void DaemonService::start() {
   if (running_.exchange(true)) return;
   control_thread_ = std::thread([this] { control_loop(); });
   data_thread_ = std::thread([this] { data_loop(); });
+  if (fast_bulk_ != nullptr) {
+    bulk_thread_ = std::thread([this] { bulk_loop(); });
+  }
 }
 
 void DaemonService::stop() {
   if (!running_.exchange(false)) return;
   if (control_thread_.joinable()) control_thread_.join();
   if (data_thread_.joinable()) data_thread_.join();
+  if (bulk_thread_.joinable()) bulk_thread_.join();
 }
 
 DaemonService::LockReplicas& DaemonService::lock_replicas(LockId lock_id) {
@@ -152,7 +166,31 @@ void DaemonService::control_loop() {
           // Liveness is proven by the transport-level ack the prober waits
           // on; nothing to do here.
           break;
+        case replica::kBulkHello: {
+          const auto hello = replica::BulkHelloMsg::decode(reader);
+          record_peer_bulk(msg->src, hello.backends, hello.tcp_port,
+                           hello.budp_port);
+          util::Buffer ack;
+          replica::BulkHelloAckMsg{endpoint_.node(), own_bulk_caps(),
+                                   bulk_kind_ == BulkBackend::kTcp
+                                       ? fast_bulk_->contact_port()
+                                       : std::uint16_t{0},
+                                   bulk_kind_ == BulkBackend::kBatchedUdp
+                                       ? fast_bulk_->contact_port()
+                                       : std::uint16_t{0}}
+              .encode(ack);
+          endpoint_.send(msg->src, replica::kDaemonPort, std::move(ack));
+          break;
+        }
+        case replica::kBulkHelloAck: {
+          const auto ack = replica::BulkHelloAckMsg::decode(reader);
+          record_peer_bulk(msg->src, ack.backends, ack.tcp_port,
+                           ack.budp_port);
+          break;
+        }
         default:
+          // Unknown control message — a newer peer speaking a message this
+          // build predates. Dropping it is the §10 downgrade path.
           break;
       }
     } catch (const util::CodecError& err) {
@@ -187,9 +225,33 @@ void DaemonService::handle_directive(net::NodeId src,
 
   // Count before sending: once the bundle is on the wire the puller may
   // observe it (and read our stats) before this thread runs again.
+  bool use_fast = false;
   {
     util::MutexLock lock(mu_);
     ++stats_.transfers_served;
+    if (fast_bulk_ != nullptr) {
+      const auto peer = bulk_peers_.find(directive.dst_site);
+      use_fast = peer != bulk_peers_.end() &&
+                 (peer->second.backends & bulk_backend_cap(bulk_kind_)) != 0;
+    }
+  }
+  if (use_fast) {
+    {
+      util::MutexLock lock(mu_);
+      ++stats_.bulk_fast_served;
+    }
+    const util::Status sent = fast_bulk_->send_bundle(
+        directive.dst_site, directive.dst_port, data, kFastBulkSendTimeoutUs);
+    if (sent.is_ok()) return;
+    MOCHA_WARN("live") << "daemon " << endpoint_.node() << ": "
+                       << bulk_backend_name(bulk_kind_)
+                       << " bulk send of lock " << directive.lock_id
+                       << " to site " << directive.dst_site
+                       << " failed (" << sent.to_string()
+                       << "); falling back to udp";
+    util::MutexLock lock(mu_);
+    --stats_.bulk_fast_served;
+    ++stats_.bulk_fallbacks;
   }
   try {
     // The directive's envelope taught the endpoint the puller's address, so
@@ -204,6 +266,84 @@ void DaemonService::handle_directive(net::NodeId src,
                        << directive.dst_site << " (directive from node "
                        << src << ")";
   }
+}
+
+void DaemonService::bulk_loop() {
+  while (running_.load()) {
+    auto bundle = fast_bulk_->recv_bundle(replica::kDaemonDataPort, 100'000);
+    if (!bundle.has_value()) continue;
+    try {
+      util::WireReader reader(bundle->payload);
+      apply_bundle(bundle->src, reader);
+    } catch (const util::CodecError& err) {
+      MOCHA_DEBUG("live") << "daemon " << endpoint_.node()
+                          << ": dropping malformed "
+                          << bulk_backend_name(bulk_kind_)
+                          << " bundle from node " << bundle->src << ": "
+                          << err.what();
+    }
+  }
+}
+
+std::uint8_t DaemonService::own_bulk_caps() const {
+  return static_cast<std::uint8_t>(replica::kBulkCapUdp |
+                                   bulk_backend_cap(bulk_kind_));
+}
+
+void DaemonService::announce_bulk(net::NodeId peer) {
+  if (fast_bulk_ == nullptr) return;
+  {
+    util::MutexLock lock(mu_);
+    if (!hello_sent_.insert(peer).second) return;
+  }
+  util::Buffer hello;
+  replica::BulkHelloMsg{endpoint_.node(), own_bulk_caps(),
+                        bulk_kind_ == BulkBackend::kTcp
+                            ? fast_bulk_->contact_port()
+                            : std::uint16_t{0},
+                        bulk_kind_ == BulkBackend::kBatchedUdp
+                            ? fast_bulk_->contact_port()
+                            : std::uint16_t{0}}
+      .encode(hello);
+  try {
+    endpoint_.send(peer, replica::kDaemonPort, std::move(hello));
+  } catch (const std::logic_error&) {
+    // Peer address unknown (caller skipped ensure_peer) — allow a retry
+    // once it is.
+    util::MutexLock lock(mu_);
+    hello_sent_.erase(peer);
+  }
+}
+
+void DaemonService::record_peer_bulk(net::NodeId peer, std::uint8_t backends,
+                                     std::uint16_t tcp_port,
+                                     std::uint16_t budp_port) {
+  {
+    util::MutexLock lock(mu_);
+    const bool fresh = bulk_peers_.find(peer) == bulk_peers_.end();
+    bulk_peers_[peer] = PeerBulk{backends, tcp_port, budp_port};
+    if (fresh) ++stats_.bulk_peers_known;
+  }
+  if (fast_bulk_ != nullptr) {
+    fast_bulk_->set_peer_contact(peer, bulk_kind_ == BulkBackend::kTcp
+                                           ? tcp_port
+                                           : budp_port);
+  }
+}
+
+std::uint8_t DaemonService::peer_bulk_caps(net::NodeId peer) const {
+  util::MutexLock lock(mu_);
+  const auto it = bulk_peers_.find(peer);
+  return it == bulk_peers_.end() ? std::uint8_t{0} : it->second.backends;
+}
+
+bool DaemonService::drain_bulk(std::int64_t timeout_us) {
+  return fast_bulk_ == nullptr || fast_bulk_->drain(timeout_us);
+}
+
+TransportBackend::Stats DaemonService::bulk_transport_stats() const {
+  return fast_bulk_ == nullptr ? TransportBackend::Stats{}
+                               : fast_bulk_->stats();
 }
 
 void DaemonService::data_loop() {

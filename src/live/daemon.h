@@ -19,16 +19,27 @@
 // replica store is mutex-guarded and safe to use from any thread. The
 // version/applied condition variable is what LockClient::acquire() blocks on
 // while a promised transfer is in flight.
+//
+// Bulk transport (§10): the daemon can be constructed with a non-default
+// live::BulkBackend (TCP or batched-UDP). Control messages always stay on
+// the endpoint; outbound bundles take the fast backend only toward peers
+// whose BULK-HELLO advertised the matching capability, falling back to the
+// endpoint's UDP path on any fast-send failure — so a TCP daemon always
+// interoperates with a UDP-only peer. A third background thread drains the
+// fast backend's inbound bundles into the same apply path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "live/endpoint.h"
+#include "live/transport_backend.h"
 #include "replica/wire.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -43,9 +54,13 @@ class DaemonService {
     std::uint64_t transfers_applied = 0;  // inbound bundles applied
     std::uint64_t stale_drops = 0;        // inbound bundles older than local
     std::uint64_t polls_answered = 0;
+    std::uint64_t bulk_fast_served = 0;   // of transfers_served: fast backend
+    std::uint64_t bulk_fallbacks = 0;     // fast send failed, rode UDP
+    std::uint64_t bulk_peers_known = 0;   // BULK-HELLO/ACKs recorded
   };
 
-  explicit DaemonService(Endpoint& endpoint);
+  explicit DaemonService(Endpoint& endpoint,
+                         BulkBackend bulk = BulkBackend::kUdp);
   ~DaemonService();
 
   DaemonService(const DaemonService&) = delete;
@@ -89,6 +104,22 @@ class DaemonService {
   std::uint64_t transfers_applied(replica::LockId lock_id) const
       EXCLUDES(mu_);
 
+  // --- Bulk transport (§10) ---
+  BulkBackend bulk_backend() const { return bulk_kind_; }
+  // Fire-and-forget BULK-HELLO toward `peer`, once per peer (endpoint
+  // delivery is per-src in-order, so a hello sent just before a transfer
+  // directive is guaranteed to precede it). No-op on a pure-UDP daemon:
+  // UDP needs no advertisement, absence of a hello *is* the fallback.
+  void announce_bulk(net::NodeId peer) EXCLUDES(mu_);
+  // Capability bits this daemon has recorded for `peer` (0 = never heard a
+  // hello; the peer is assumed UDP-only).
+  std::uint8_t peer_bulk_caps(net::NodeId peer) const EXCLUDES(mu_);
+  // Flushes and FIN+linger-closes the fast backend's cached connections
+  // (no-op true on pure UDP) — run under mocha_live's shared exit deadline.
+  bool drain_bulk(std::int64_t timeout_us);
+  // Fast-backend transport counters (all zero on pure UDP).
+  TransportBackend::Stats bulk_transport_stats() const;
+
   Stats stats() const EXCLUDES(mu_);
 
  private:
@@ -100,21 +131,41 @@ class DaemonService {
     std::map<std::string, util::Buffer> contents;
   };
 
+  // What a peer's BULK-HELLO / ACK taught us: which backends it can receive
+  // on and where they listen.
+  struct PeerBulk {
+    std::uint8_t backends = replica::kBulkCapUdp;
+    std::uint16_t tcp_port = 0;
+    std::uint16_t budp_port = 0;
+  };
+
   void control_loop() EXCLUDES(mu_);
   void data_loop() EXCLUDES(mu_);
+  void bulk_loop() EXCLUDES(mu_);
   void handle_directive(net::NodeId src, util::WireReader& reader)
       EXCLUDES(mu_);
   void apply_bundle(net::NodeId src, util::WireReader& reader) EXCLUDES(mu_);
+  void record_peer_bulk(net::NodeId peer, std::uint8_t backends,
+                        std::uint16_t tcp_port, std::uint16_t budp_port)
+      EXCLUDES(mu_);
+  std::uint8_t own_bulk_caps() const;
   LockReplicas& lock_replicas(replica::LockId lock_id) REQUIRES(mu_);
 
   Endpoint& endpoint_;
+  const BulkBackend bulk_kind_;
+  // Non-null only for a non-default backend; pure UDP keeps the exact
+  // pre-§10 single-path behavior (and wire cost: zero hellos).
+  const std::unique_ptr<TransportBackend> fast_bulk_;
   std::atomic<bool> running_{false};
   std::thread control_thread_;
   std::thread data_thread_;
+  std::thread bulk_thread_;
 
   mutable util::Mutex mu_;
   util::CondVar version_cv_;  // signaled on publish / bundle apply
   std::map<replica::LockId, LockReplicas> locks_ GUARDED_BY(mu_);
+  std::map<net::NodeId, PeerBulk> bulk_peers_ GUARDED_BY(mu_);
+  std::set<net::NodeId> hello_sent_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
 };
 

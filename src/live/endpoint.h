@@ -215,6 +215,10 @@ class Endpoint {
   std::uint64_t nacks_received() const { return nacks_received_; }
   std::uint64_t acks_piggybacked() const { return acks_piggybacked_; }
   std::uint64_t netem_dropped() const { return netem_dropped_; }
+  // recvmmsg(2) rx batching (the receive-side twin of the sendmmsg tx
+  // batch): poll wakeups that drained the socket, and datagrams they moved.
+  std::uint64_t rx_batches() const { return rx_batches_; }
+  std::uint64_t rx_batched_datagrams() const { return rx_batched_datagrams_; }
 
  private:
   using MsgKey = std::pair<net::NodeId, std::uint64_t>;  // (peer, seq)
@@ -352,6 +356,8 @@ class Endpoint {
   std::atomic<std::uint64_t> nacks_received_{0};
   std::atomic<std::uint64_t> acks_piggybacked_{0};
   std::atomic<std::uint64_t> netem_dropped_{0};
+  std::atomic<std::uint64_t> rx_batches_{0};
+  std::atomic<std::uint64_t> rx_batched_datagrams_{0};
 };
 
 // Bytes of the per-datagram source-node envelope preceding the frame.

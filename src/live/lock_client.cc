@@ -132,6 +132,10 @@ util::Status LockClient::pull_replica(replica::LockId lock_id,
   const net::NodeId owner = grant.transfer_from;
   if (owner != 0 && owner != endpoint_.node() &&
       ensure_peer(owner, home, lk.grant_port, opts_.transfer_timeout_us)) {
+    // Advertise our bulk-receive capabilities before the directive (once per
+    // peer; in-order delivery guarantees the hello lands first), so the
+    // serving daemon may answer over the fast backend (§10).
+    daemon_->announce_bulk(owner);
     send_pull_directive(owner, lock_id, target);
     util::Status direct =
         daemon_->wait_for_version(lock_id, target, opts_.transfer_timeout_us);
@@ -147,6 +151,7 @@ util::Status LockClient::pull_replica(replica::LockId lock_id,
   // (weakened consistency, mirroring the sim's poll-and-redirect).
   ++transfer_retries_;
   const std::uint64_t applied_before = daemon_->transfers_applied(lock_id);
+  daemon_->announce_bulk(home);
   send_pull_directive(home, lock_id, target);
   util::Status retried = daemon_->wait_for_apply(lock_id, applied_before,
                                                  opts_.transfer_timeout_us);

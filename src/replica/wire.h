@@ -72,7 +72,22 @@ enum MsgType : std::uint8_t {
   // routes each lock id to exactly one of them.
   kShardMapRequest = 25,
   kShardMapReply = 26,
+  // Bulk-transport negotiation (§10): before the first replica pull against
+  // a peer, a daemon advertises which bulk backends it can *receive* on and
+  // where they listen; the peer records the capabilities and answers with
+  // its own. A peer that never heard of BULK-HELLO simply ignores it, so
+  // mixed deployments degrade to the MochaNet-UDP bulk path.
+  kBulkHello = 27,
+  kBulkHelloAck = 28,
 };
+
+// Bulk-backend capability bits carried by kBulkHello/kBulkHelloAck (§10).
+// Every daemon can receive on the MochaNet-UDP data port, so kBulkCapUdp is
+// always set by live senders; the other bits are set when the corresponding
+// receive loop is running.
+constexpr std::uint8_t kBulkCapUdp = 1u << 0;
+constexpr std::uint8_t kBulkCapTcp = 1u << 1;
+constexpr std::uint8_t kBulkCapBatchedUdp = 1u << 2;
 
 // GRANT flags (paper Fig 5: VERSIONOK / NEEDNEWVERSION, plus the §4
 // blacklist refinement).
@@ -382,6 +397,63 @@ struct ShardMapReplyMsg {
       entry.udp_port = reader.u16();
       msg.shards.push_back(entry);
     }
+    return msg;
+  }
+};
+
+// kBulkHello: daemon -> peer daemon (kDaemonPort). Advertises the sender's
+// bulk-receive capabilities: `backends` is a kBulkCap* bitmask, tcp_port /
+// budp_port are the TCP bulk listener and batched-UDP socket ports (host
+// byte order; 0 = that backend is not offered). The sender's IPv4 address is
+// not carried — the receiver already learned it from the datagram envelope.
+struct BulkHelloMsg {
+  std::uint32_t site = 0;
+  std::uint8_t backends = kBulkCapUdp;
+  std::uint16_t tcp_port = 0;
+  std::uint16_t budp_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kBulkHello);
+    writer.u32(site);
+    writer.u8(backends);
+    writer.u16(tcp_port);
+    writer.u16(budp_port);
+  }
+  static BulkHelloMsg decode(util::WireReader& reader) {
+    BulkHelloMsg msg;
+    msg.site = reader.u32();
+    msg.backends = reader.u8();
+    msg.tcp_port = reader.u16();
+    msg.budp_port = reader.u16();
+    return msg;
+  }
+};
+
+// kBulkHelloAck: peer daemon -> helloing daemon (kDaemonPort), answering a
+// kBulkHello with the responder's own capabilities. Absence of the ack (an
+// old binary drops the hello on the floor) is itself the negotiation result:
+// the peer is UDP-only and bulk payloads stay on the MochaNet data port.
+struct BulkHelloAckMsg {
+  std::uint32_t site = 0;
+  std::uint8_t backends = kBulkCapUdp;
+  std::uint16_t tcp_port = 0;
+  std::uint16_t budp_port = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kBulkHelloAck);
+    writer.u32(site);
+    writer.u8(backends);
+    writer.u16(tcp_port);
+    writer.u16(budp_port);
+  }
+  static BulkHelloAckMsg decode(util::WireReader& reader) {
+    BulkHelloAckMsg msg;
+    msg.site = reader.u32();
+    msg.backends = reader.u8();
+    msg.tcp_port = reader.u16();
+    msg.budp_port = reader.u16();
     return msg;
   }
 };

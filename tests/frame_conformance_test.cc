@@ -349,6 +349,54 @@ TEST(LockWireCodec, TruncatedShardMapReplyThrows) {
   EXPECT_THROW(replica::ShardMapReplyMsg::decode(reader), util::CodecError);
 }
 
+TEST(LockWireCodec, BulkHelloRoundTrip) {
+  replica::BulkHelloMsg msg;
+  msg.site = 42;
+  msg.backends = replica::kBulkCapUdp | replica::kBulkCapTcp;
+  msg.tcp_port = 40123;
+  msg.budp_port = 0;  // TCP offered, batched-UDP not
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kBulkHello);
+  const auto decoded = replica::BulkHelloMsg::decode(reader);
+  EXPECT_EQ(decoded.site, msg.site);
+  EXPECT_EQ(decoded.backends, msg.backends);
+  EXPECT_EQ(decoded.tcp_port, msg.tcp_port);
+  EXPECT_EQ(decoded.budp_port, msg.budp_port);
+}
+
+TEST(LockWireCodec, BulkHelloAckRoundTrip) {
+  replica::BulkHelloAckMsg msg;
+  msg.site = 7;
+  msg.backends = replica::kBulkCapUdp | replica::kBulkCapBatchedUdp;
+  msg.tcp_port = 0;
+  msg.budp_port = 50321;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kBulkHelloAck);
+  const auto decoded = replica::BulkHelloAckMsg::decode(reader);
+  EXPECT_EQ(decoded.site, msg.site);
+  EXPECT_EQ(decoded.backends, msg.backends);
+  EXPECT_EQ(decoded.tcp_port, msg.tcp_port);
+  EXPECT_EQ(decoded.budp_port, msg.budp_port);
+}
+
+TEST(LockWireCodec, TruncatedBulkHelloThrows) {
+  replica::BulkHelloMsg msg;
+  msg.backends = replica::kBulkCapTcp;
+  msg.tcp_port = 40123;
+  util::Buffer wire;
+  msg.encode(wire);
+  wire.resize(wire.size() - 3);  // cut inside the port fields
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kBulkHello);
+  EXPECT_THROW(replica::BulkHelloMsg::decode(reader), util::CodecError);
+}
+
 TEST(LockWireCodec, TruncatedLockMessagesThrow) {
   replica::GrantMsg msg;
   msg.holders = {1, 2, 3};

@@ -259,6 +259,31 @@ def self_test(files: dict[str, str]) -> int:
     if not any("value 24" in f and "kShardMapRequest" in f for f in found):
         failures.append(f"shard-map MsgType collision not flagged: {found}")
 
+    # The §10 bulk negotiation: the ack enumerator sliding onto the hello's
+    # value must be flagged — both ride kDaemonPort, so this collision
+    # aliases on the wire immediately, same class as kGrant/kRefreshCached.
+    broken = mutate(
+        files, WIRE_HEADER, "kBulkHelloAck = 28", "kBulkHelloAck = 27"
+    )
+    found = run_lint(broken)
+    if not any("value 27" in f and "kBulkHelloAck" in f for f in found):
+        failures.append(f"bulk-hello MsgType collision not flagged: {found}")
+
+    # Dropping the kBulkHelloAck round-trip from the conformance test must
+    # be flagged (the hello keeps its own coverage; only the ack reference
+    # disappears, as a careless refactor would leave it).
+    broken = mutate(
+        files,
+        CONFORMANCE_TEST,
+        "reader.u8(), replica::kBulkHelloAck",
+        "reader.u8(), replica::kBulkHello + 1",
+    )
+    found = run_lint(broken)
+    if not any("kBulkHelloAck" in f and "not exercised" in f for f in found):
+        failures.append(
+            f"missing bulk-hello conformance coverage not flagged: {found}"
+        )
+
     # Removing a dispatcher case must be flagged for that backend.
     broken = mutate(
         files, "src/net/mochanet.cc", "case FrameType::kNack", "case kNackGone"

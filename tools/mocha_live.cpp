@@ -65,6 +65,13 @@
 //   it writes BENCH_<bench-name>.json (default live_transfer) with
 //   p50/p99 acquire-with-transfer latency per size.
 //
+// Bulk transport (server and client, PROTOCOL.md §10): --bulk-backend
+// {udp,tcp,batched-udp} selects how daemon→daemon replica bundles move
+// (control messages always stay on MochaNet UDP). When the flag is absent,
+// MOCHA_BULK_BACKEND in the environment applies; default udp. Non-UDP
+// deployments negotiate per peer via BULK-HELLO and fall back to udp against
+// peers that never advertised the capability, so mixed fleets interoperate.
+//
 // WAN emulation (server and client, applied in the endpoint's own recv path,
 // no root/tc needed): --loss-pct P drops P% of inbound datagrams,
 // --delay-us N adds one-way propagation delay, --bw-kbps B serializes
@@ -100,6 +107,7 @@
 #include "live/lock_client.h"
 #include "live/lock_server.h"
 #include "live/shard_map.h"
+#include "live/transport_backend.h"
 #include "replica/wire.h"
 #include "util/metrics.h"
 
@@ -154,6 +162,8 @@ struct Args {
   std::string replica_bytes;  // comma-separated sizes; empty = off
   std::string replica_dump_file;
   int replica_barrier = 0;  // clients to rendezvous before the final sync
+  // Bulk transport selection (empty = MOCHA_BULK_BACKEND env, else udp)
+  std::string bulk_backend;
   // WAN emulation + transport A/B knobs
   double loss_pct = 0.0;
   std::int64_t delay_us = 0;
@@ -206,6 +216,15 @@ mocha::live::EndpointOptions make_endpoint_options(const Args& args,
   return opts;
 }
 
+// Bulk-backend selection: explicit flag wins, MOCHA_BULK_BACKEND next,
+// MochaNet UDP otherwise (parse_args already rejected bad flag values).
+mocha::live::BulkBackend resolve_bulk_backend(const Args& args) {
+  if (!args.bulk_backend.empty()) {
+    return *mocha::live::parse_bulk_backend(args.bulk_backend);
+  }
+  return mocha::live::bulk_backend_from_env(mocha::live::BulkBackend::kUdp);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --server --port P [--shards N] [--shard-id K"
@@ -225,6 +244,7 @@ int usage(const char* argv0) {
                "          [--replica-barrier N] [--replica-dump-file F]"
                " [--bench-json-dir D]\n"
                "WAN emulation / transport (server and client):\n"
+               "          [--bulk-backend udp|tcp|batched-udp]\n"
                "          [--loss-pct P] [--delay-us N] [--bw-kbps B]"
                " [--fixed-rto] [--rto-us N] [--ack-delay-us N]\n",
                argv0, argv0, argv0, argv0);
@@ -303,6 +323,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.replica_barrier = std::atoi(v);
+    } else if (arg == "--bulk-backend") {
+      const char* v = value();
+      if (!v || !mocha::live::parse_bulk_backend(v).has_value()) {
+        std::fprintf(stderr,
+                     "--bulk-backend: want udp, tcp, or batched-udp\n");
+        return false;
+      }
+      args.bulk_backend = v;
     } else if (arg == "--loss-pct") {
       const char* v = value();
       if (!v) return false;
@@ -429,6 +457,7 @@ int run_server(const Args& args) {
     for (std::uint32_t s = 0; s < shard_count; ++s) hosted.push_back(s);
   }
 
+  const mocha::live::BulkBackend bulk_kind = resolve_bulk_backend(args);
   std::vector<ShardHost> shards;
   shards.reserve(hosted.size());
   for (const std::uint32_t s : hosted) {
@@ -480,7 +509,8 @@ int run_server(const Args& args) {
         std::make_unique<mocha::live::LockServer>(*host.endpoint, opts);
     host.server->set_shard_map(shard_map);
     host.server->start();
-    host.daemon = std::make_unique<mocha::live::DaemonService>(*host.endpoint);
+    host.daemon = std::make_unique<mocha::live::DaemonService>(*host.endpoint,
+                                                               bulk_kind);
     host.daemon->start();
   }
 
@@ -525,8 +555,14 @@ int run_server(const Args& args) {
       mocha::live::Clock::monotonic().now_us() +
       static_cast<std::int64_t>(2'000'000LL * time_scale());
   for (ShardHost& host : shards) {
-    const std::int64_t remaining =
+    std::int64_t remaining =
         flush_deadline - mocha::live::Clock::monotonic().now_us();
+    if (remaining <= 0) break;
+    // Satellite of the §10 hybrid transport: cached TCP bulk connections get
+    // a FIN + bounded linger under the SAME deadline, so unacked frames reach
+    // the peer before exit without extending the worst-case shutdown.
+    host.daemon->drain_bulk(remaining);
+    remaining = flush_deadline - mocha::live::Clock::monotonic().now_us();
     if (remaining <= 0) break;
     host.endpoint->flush(remaining);
   }
@@ -546,6 +582,9 @@ int run_server(const Args& args) {
     total.shard_map_requests += stats.shard_map_requests;
     daemon_total.transfers_served += daemon_stats.transfers_served;
     daemon_total.transfers_applied += daemon_stats.transfers_applied;
+    daemon_total.bulk_fast_served += daemon_stats.bulk_fast_served;
+    daemon_total.bulk_fallbacks += daemon_stats.bulk_fallbacks;
+    daemon_total.bulk_peers_known += daemon_stats.bulk_peers_known;
     per_shard.push_back(stats);
     per_daemon.push_back(daemon_stats);
   }
@@ -564,6 +603,13 @@ int run_server(const Args& args) {
         << ",\n"
         << "  \"transfers_applied\": " << daemon_total.transfers_applied
         << ",\n"
+        << "  \"bulk_backend\": \""
+        << mocha::live::bulk_backend_name(bulk_kind) << "\",\n"
+        << "  \"bulk_fast_served\": " << daemon_total.bulk_fast_served
+        << ",\n"
+        << "  \"bulk_fallbacks\": " << daemon_total.bulk_fallbacks << ",\n"
+        << "  \"bulk_peers_known\": " << daemon_total.bulk_peers_known
+        << ",\n"
         << "  \"shards\": [\n";
     for (std::size_t i = 0; i < per_shard.size(); ++i) {
       const auto& s = per_shard[i];
@@ -581,6 +627,8 @@ int run_server(const Args& args) {
           << ", \"max_epoll_batch\": " << s.max_epoll_batch
           << ", \"transfers_served\": " << per_daemon[i].transfers_served
           << ", \"transfers_applied\": " << per_daemon[i].transfers_applied
+          << ", \"bulk_fast_served\": " << per_daemon[i].bulk_fast_served
+          << ", \"bulk_fallbacks\": " << per_daemon[i].bulk_fallbacks
           << "}" << (i + 1 < per_shard.size() ? "," : "") << "\n";
     }
     out << "  ]\n"
@@ -778,7 +826,7 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint,
   }
   const double scale = time_scale();
 
-  mocha::live::DaemonService daemon(endpoint);
+  mocha::live::DaemonService daemon(endpoint, resolve_bulk_backend(args));
   daemon.start();
   mocha::live::LockClientOptions copts;
   copts.grant_timeout_us =
@@ -924,6 +972,13 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint,
   metrics.push_back({"retransmissions",
                      static_cast<double>(endpoint.retransmissions()),
                      "count"});
+  const auto daemon_stats = daemon.stats();
+  metrics.push_back({"bulk_fast_served",
+                     static_cast<double>(daemon_stats.bulk_fast_served),
+                     "count"});
+  metrics.push_back({"bulk_fallbacks",
+                     static_cast<double>(daemon_stats.bulk_fallbacks),
+                     "count"});
   if (!args.quiet) {
     std::printf(
         "client %u: %llu transfers pulled, %llu retries, %llu timeouts, "
@@ -938,9 +993,16 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint,
         args.bench_name.empty() ? "live_transfer" : args.bench_name, metrics,
         args.bench_json_dir);
   }
-  // Linger until the final RELEASE (fire-and-forget) is transport-acked:
-  // under injected loss the retransmit timer may still own its delivery.
-  endpoint.flush(2'000'000LL * time_scale());
+  // Linger until the final RELEASE (fire-and-forget) is transport-acked —
+  // and any cached TCP bulk connections are FIN-closed — all under ONE
+  // shared deadline so bulk drain cannot extend the worst-case shutdown.
+  const std::int64_t exit_deadline =
+      mocha::live::Clock::monotonic().now_us() +
+      static_cast<std::int64_t>(2'000'000LL * time_scale());
+  endpoint.flush(exit_deadline - mocha::live::Clock::monotonic().now_us());
+  const std::int64_t drain_left =
+      exit_deadline - mocha::live::Clock::monotonic().now_us();
+  if (drain_left > 0) daemon.drain_bulk(drain_left);
   daemon.stop();
   return 0;
 }

@@ -140,5 +140,90 @@ print(f"shard sweep: x2 {rate[2]/rate[1]:.2f}  x4 {rate[4]/rate[1]:.2f}  "
       f"({rate[1]:.0f} -> {rate[4]:.0f} locks/s)")
 PY
 
+# --- 4. Hybrid bulk-transport sweep (BENCH_live_hybrid.json) ---
+# Basic-vs-hybrid crossover (paper §4.3, reproduced live): the same
+# two-client replica ping-pong run twice over raw loopback — once with the
+# default MochaNet-UDP bulk path, once with the TCP bulk backend — across
+# bundle sizes 1 KiB … 1 MiB. The merged JSON pins udp/tcp p50+p99 per
+# size, the crossover size and the 1 MiB tcp/udp ratios. The crossover is
+# defined on p99, not p50: the cost the TCP lane removes is the userspace
+# retransmit storm on multi-hundred-fragment bundles, which lives in the
+# tail — per-run p50s at 1 MiB are scheduler noise on busy runners and
+# flip-flop, while the p99 ordering reproduces on every run. p50s for all
+# sizes still land in the JSON for inspection.
+HYBRID_SIZES=1024,8192,65536,262144,1048576
+# 30 rounds: the gated numbers are per-size p50s over one client's samples,
+# and 16-round medians proved noisy enough to wobble the crossover bucket.
+HYBRID_ROUNDS=30
+for BE in udp tcp; do
+  "$BIN" --server --port 0 --ready-file "$OUT/ready_hybrid_$BE" \
+    --bulk-backend "$BE" --quiet &
+  SERVER=$!
+  PORT=$(wait_ready "$OUT/ready_hybrid_$BE")
+  "$BIN" --client --site 2 --server-addr "127.0.0.1:$PORT" \
+    --rounds "$HYBRID_ROUNDS" --replica-bytes "$HYBRID_SIZES" \
+    --replica-barrier 2 --bulk-backend "$BE" \
+    --bench-json-dir "$OUT" --bench-name "live_hybrid_$BE" --quiet &
+  C2=$!
+  "$BIN" --client --site 3 --server-addr "127.0.0.1:$PORT" \
+    --rounds "$HYBRID_ROUNDS" --replica-bytes "$HYBRID_SIZES" \
+    --replica-barrier 2 --bulk-backend "$BE" --quiet &
+  C3=$!
+  wait "$C2"
+  wait "$C3"
+  kill -TERM "$SERVER" && wait "$SERVER"
+done
+
+python3 - "$OUT" <<'PY'
+import json, sys
+out = sys.argv[1]
+
+SIZES = [1024, 8192, 65536, 262144, 1048576]
+runs = {}
+for be in ("udp", "tcp"):
+    with open(f"{out}/BENCH_live_hybrid_{be}.json") as f:
+        doc = json.load(f)
+    runs[be] = {m["name"]: m["value"] for m in doc["metrics"]}
+
+# The tcp run must actually have used the fast path: a silent negotiation
+# failure would fall back to UDP and "measure" a crossover of pure noise.
+if runs["tcp"].get("bulk_fast_served", 0) <= 0:
+    sys.exit("hybrid sweep: tcp run never hit the fast bulk path")
+if runs["udp"].get("bulk_fast_served", 0) != 0:
+    sys.exit("hybrid sweep: udp run unexpectedly used a fast bulk backend")
+
+metrics = []
+for size in SIZES:
+    for be in ("udp", "tcp"):
+        for q in ("p50", "p99"):
+            metrics.append({"name": f"{be}_{q}_{size}",
+                            "value": runs[be][f"{q}_acquire_{size}"],
+                            "unit": "us"})
+
+# Crossover: smallest size where TCP wins p99 by >10% AND keeps winning at
+# every larger size (hysteresis so a single noisy bucket cannot fake it).
+# No such size -> sentinel 2x the largest, which trips the lower-is-better
+# gate against any real baseline.
+crossover = 2 * SIZES[-1]
+for i, size in enumerate(SIZES):
+    if all(runs["tcp"][f"p99_acquire_{s}"]
+           < 0.9 * runs["udp"][f"p99_acquire_{s}"] for s in SIZES[i:]):
+        crossover = size
+        break
+metrics.append({"name": "crossover_bytes", "value": float(crossover),
+                "unit": "bytes"})
+for q in ("p50", "p99"):
+    ratio = (runs["tcp"][f"{q}_acquire_1048576"]
+             / runs["udp"][f"{q}_acquire_1048576"])
+    metrics.append({"name": f"tcp_over_udp_{q}_1048576", "value": ratio,
+                    "unit": "x"})
+with open(f"{out}/BENCH_live_hybrid.json", "w") as f:
+    json.dump({"name": "live_hybrid", "metrics": metrics}, f, indent=2)
+    f.write("\n")
+p99r = runs["tcp"]["p99_acquire_1048576"] / runs["udp"]["p99_acquire_1048576"]
+print(f"hybrid sweep: crossover {crossover} B, "
+      f"1 MiB tcp/udp p99 ratio {p99r:.2f}")
+PY
+
 echo "bench JSON written to $OUT:"
 ls -l "$OUT"/BENCH_*.json
