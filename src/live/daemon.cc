@@ -41,14 +41,20 @@ void DaemonService::start() {
   data_thread_ = std::thread([this] { data_loop(); });
   if (fast_bulk_ != nullptr) {
     bulk_thread_ = std::thread([this] { bulk_loop(); });
+    bulk_send_thread_ = std::thread([this] { bulk_send_loop(); });
   }
 }
 
 void DaemonService::stop() {
   if (!running_.exchange(false)) return;
+  {
+    util::MutexLock lock(mu_);
+    fast_send_cv_.notify_all();
+  }
   if (control_thread_.joinable()) control_thread_.join();
   if (data_thread_.joinable()) data_thread_.join();
   if (bulk_thread_.joinable()) bulk_thread_.join();
+  if (bulk_send_thread_.joinable()) bulk_send_thread_.join();
 }
 
 DaemonService::LockReplicas& DaemonService::lock_replicas(LockId lock_id) {
@@ -225,33 +231,24 @@ void DaemonService::handle_directive(net::NodeId src,
 
   // Count before sending: once the bundle is on the wire the puller may
   // observe it (and read our stats) before this thread runs again.
-  bool use_fast = false;
   {
     util::MutexLock lock(mu_);
     ++stats_.transfers_served;
+    bool use_fast = false;
     if (fast_bulk_ != nullptr) {
       const auto peer = bulk_peers_.find(directive.dst_site);
       use_fast = peer != bulk_peers_.end() &&
                  (peer->second.backends & bulk_backend_cap(bulk_kind_)) != 0;
     }
-  }
-  if (use_fast) {
-    {
-      util::MutexLock lock(mu_);
+    if (use_fast) {
+      // Hand the bundle to the sender thread: fast sends block (TCP
+      // connect, batched-UDP DONE wait) and must not stall this loop.
       ++stats_.bulk_fast_served;
+      fast_sends_.push_back(FastSend{directive.dst_site, directive.dst_port,
+                                     directive.lock_id, std::move(data)});
+      fast_send_cv_.notify_all();
+      return;
     }
-    const util::Status sent = fast_bulk_->send_bundle(
-        directive.dst_site, directive.dst_port, data, kFastBulkSendTimeoutUs);
-    if (sent.is_ok()) return;
-    MOCHA_WARN("live") << "daemon " << endpoint_.node() << ": "
-                       << bulk_backend_name(bulk_kind_)
-                       << " bulk send of lock " << directive.lock_id
-                       << " to site " << directive.dst_site
-                       << " failed (" << sent.to_string()
-                       << "); falling back to udp";
-    util::MutexLock lock(mu_);
-    --stats_.bulk_fast_served;
-    ++stats_.bulk_fallbacks;
   }
   try {
     // The directive's envelope taught the endpoint the puller's address, so
@@ -265,6 +262,54 @@ void DaemonService::handle_directive(net::NodeId src,
                        << directive.lock_id << " to unknown site "
                        << directive.dst_site << " (directive from node "
                        << src << ")";
+  }
+}
+
+void DaemonService::bulk_send_loop() {
+  while (true) {
+    FastSend job;
+    {
+      util::MutexLock lock(mu_);
+      while (fast_sends_.empty()) {
+        if (!running_.load()) return;
+        fast_send_cv_.wait_for_us(mu_, 100'000);
+      }
+      job = std::move(fast_sends_.front());
+      fast_sends_.pop_front();
+    }
+    if (!running_.load()) {
+      // Shutting down: skip the blocking fast send so stop() is not held
+      // for kFastBulkSendTimeoutUs per leftover bundle; the UDP leg hands
+      // off to the endpoint's retransmit machinery without blocking.
+      fast_send_fallback(std::move(job));
+      continue;
+    }
+    const util::Status sent = fast_bulk_->send_bundle(
+        job.dst, job.port, job.data, kFastBulkSendTimeoutUs);
+    if (sent.is_ok()) continue;
+    MOCHA_WARN("live") << "daemon " << endpoint_.node() << ": "
+                       << bulk_backend_name(bulk_kind_)
+                       << " bulk send of lock " << job.lock_id << " to site "
+                       << job.dst << " failed (" << sent.to_string()
+                       << "); falling back to udp";
+    fast_send_fallback(std::move(job));
+  }
+}
+
+void DaemonService::fast_send_fallback(FastSend job) {
+  {
+    util::MutexLock lock(mu_);
+    --stats_.bulk_fast_served;
+    ++stats_.bulk_fallbacks;
+  }
+  try {
+    endpoint_.send(job.dst, job.port, std::move(job.data));
+  } catch (const std::logic_error&) {
+    util::MutexLock lock(mu_);
+    --stats_.transfers_served;
+    MOCHA_WARN("live") << "daemon " << endpoint_.node()
+                       << ": cannot serve transfer of lock " << job.lock_id
+                       << " to unknown site " << job.dst;
   }
 }
 

@@ -25,12 +25,15 @@
 // the endpoint; outbound bundles take the fast backend only toward peers
 // whose BULK-HELLO advertised the matching capability, falling back to the
 // endpoint's UDP path on any fast-send failure — so a TCP daemon always
-// interoperates with a UDP-only peer. A third background thread drains the
-// fast backend's inbound bundles into the same apply path.
+// interoperates with a UDP-only peer. Two more background threads serve the
+// fast backend: one drains its inbound bundles into the same apply path,
+// one works the outbound send queue (fast sends block for up to the send
+// timeout, which must not stall the control loop).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -139,9 +142,24 @@ class DaemonService {
     std::uint16_t budp_port = 0;
   };
 
+  // One outbound fast-backend bundle awaiting the sender thread. Fast sends
+  // are synchronous (TCP connect, batched-UDP DONE wait) and must not run on
+  // the control loop: one stalled peer would head-of-line block every other
+  // directive and control message for the full send timeout.
+  struct FastSend {
+    net::NodeId dst = net::kInvalidNode;
+    net::Port port = 0;
+    replica::LockId lock_id = 0;
+    util::Buffer data;
+  };
+
   void control_loop() EXCLUDES(mu_);
   void data_loop() EXCLUDES(mu_);
   void bulk_loop() EXCLUDES(mu_);
+  void bulk_send_loop() EXCLUDES(mu_);
+  // The endpoint-UDP leg of a failed or shutdown-skipped fast send; adjusts
+  // the fast/fallback counters to match.
+  void fast_send_fallback(FastSend job) EXCLUDES(mu_);
   void handle_directive(net::NodeId src, util::WireReader& reader)
       EXCLUDES(mu_);
   void apply_bundle(net::NodeId src, util::WireReader& reader) EXCLUDES(mu_);
@@ -160,12 +178,15 @@ class DaemonService {
   std::thread control_thread_;
   std::thread data_thread_;
   std::thread bulk_thread_;
+  std::thread bulk_send_thread_;
 
   mutable util::Mutex mu_;
   util::CondVar version_cv_;  // signaled on publish / bundle apply
+  util::CondVar fast_send_cv_;  // signaled when fast_sends_ grows / on stop
   std::map<replica::LockId, LockReplicas> locks_ GUARDED_BY(mu_);
   std::map<net::NodeId, PeerBulk> bulk_peers_ GUARDED_BY(mu_);
   std::set<net::NodeId> hello_sent_ GUARDED_BY(mu_);
+  std::deque<FastSend> fast_sends_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
 };
 

@@ -76,8 +76,10 @@ TcpBulkBackend::TcpBulkBackend(Endpoint& endpoint, TcpBulkOptions opts)
 
 TcpBulkBackend::~TcpBulkBackend() {
   // Fail anything still queued so no caller blocks past destruction, then
-  // stop the loop and close every fd. Callers also carry their own grace
-  // deadline, so even a wedged loop cannot strand them.
+  // stop the loop and close every fd. The wait on the posted cleanup is
+  // bounded by the same grace deadline send_bundle callers get: if the loop
+  // thread is wedged, fall through to stop() + join rather than spinning
+  // here forever.
   std::shared_ptr<Pending> stopped = std::make_shared<Pending>();
   reactor_.post([this, stopped] {
     for (auto& [peer, conn] : conns_) {
@@ -102,8 +104,14 @@ TcpBulkBackend::~TcpBulkBackend() {
     reactor_.stop();
   });
   {
+    const std::int64_t grace_deadline =
+        Clock::monotonic().now_us() + kReactorGraceUs;
     util::MutexLock lock(stopped->mu);
-    while (!stopped->done) stopped->cv.wait_for_us(stopped->mu, 100'000);
+    while (!stopped->done) {
+      const std::int64_t now = Clock::monotonic().now_us();
+      if (now >= grace_deadline) break;
+      stopped->cv.wait_for_us(stopped->mu, grace_deadline - now);
+    }
   }
   reactor_.stop();
   if (loop_thread_.joinable()) loop_thread_.join();
@@ -450,9 +458,13 @@ void TcpBulkBackend::fail_conn(net::NodeId dst, util::StatusCode code,
 
 void TcpBulkBackend::evict_idle_over_cap() {
   while (conns_.size() > opts_.max_cached_connections) {
-    // Walk from the LRU tail; only idle connections are evictable.
+    // Walk from the LRU tail; only idle connections are evictable, and the
+    // MRU entry never is — it is the connection the caller just created or
+    // touched, whose frame is enqueued only after ensure_conn returns (so
+    // an empty queue there does not mean idle).
     bool evicted = false;
     for (auto lru_it = lru_.rbegin(); lru_it != lru_.rend(); ++lru_it) {
+      if (*lru_it == lru_.front()) break;
       const auto it = conns_.find(*lru_it);
       if (it == conns_.end() || !it->second->queue.empty()) continue;
       Conn& conn = *it->second;

@@ -246,6 +246,7 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
 
   std::uint64_t xfer = 0;
   auto waiter = std::make_shared<Waiter>();
+  waiter->frag_count = frag_count;
   {
     util::MutexLock lock(mu_);
     // Salt with the node id so xfer ids never collide across senders at one
@@ -403,7 +404,11 @@ BatchedUdpBackend::PortQueue& BatchedUdpBackend::port_queue(net::Port port) {
 
 void BatchedUdpBackend::rx_loop() {
   constexpr unsigned kBatch = kMmsgBatch;
-  const std::size_t buf_len = std::max<std::size_t>(opts_.mtu, 2048);
+  // Sender and receiver may disagree on mtu (Reassembly assumes no fixed
+  // stride), so receive buffers are sized for the largest possible UDP
+  // payload, not the local option — a bigger-mtu peer must not have its
+  // DATA datagrams truncated into corrupt chunks.
+  constexpr std::size_t buf_len = 65536;
   std::vector<std::vector<std::uint8_t>> bufs(kBatch);
   for (auto& b : bufs) b.resize(buf_len);
   std::array<mmsghdr, kBatch> msgs{};
@@ -438,6 +443,11 @@ void BatchedUdpBackend::rx_loop() {
                                nullptr);
     if (got <= 0) continue;
     for (int i = 0; i < got; ++i) {
+      if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        // Datagram larger than the buffer (cannot happen for UDP at the
+        // buf_len above, but never parse a truncated payload as complete).
+        continue;
+      }
       if (opts_.recv_loss_pct > 0.0 &&
           netem_rng_.chance(opts_.recv_loss_pct / 100.0)) {
         ++netem_dropped_;
@@ -557,9 +567,19 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
       util::MutexLock lock(mu_);
       const auto it = waiters_.find(xfer);
       if (it != waiters_.end()) {
+        // Validate against the transfer's fragment count: the resend path
+        // indexes headers[] and the payload by these values, and xfer ids
+        // are guessable, so an out-of-range index from the wire must never
+        // reach the burst.
         auto& dest = it->second->missing;
-        dest.insert(dest.end(), missing.begin(), missing.end());
-        it->second->cv.notify_all();
+        const std::uint32_t limit = it->second->frag_count;
+        bool queued = false;
+        for (const std::uint32_t frag : missing) {
+          if (frag >= limit) continue;
+          dest.push_back(frag);
+          queued = true;
+        }
+        if (queued) it->second->cv.notify_all();
       }
       return;
     }

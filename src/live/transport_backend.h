@@ -190,8 +190,12 @@ class BatchedUdpBackend final : public TransportBackend {
  private:
   // One sender-side transfer awaiting its DONE; NACKed fragment indices are
   // handed from the rx thread to the sending thread through `missing`.
+  // `frag_count` bounds what a NACK may ask for: the resend path indexes
+  // per-fragment headers and payload offsets with these values, so indices
+  // from the wire must be validated against it before they are queued.
   struct Waiter {
     bool done = false;
+    std::uint32_t frag_count = 0;
     std::vector<std::uint32_t> missing;
     util::CondVar cv;
   };
