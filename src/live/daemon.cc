@@ -31,7 +31,17 @@ DaemonService::DaemonService(Endpoint& endpoint, BulkBackend bulk)
     : endpoint_(endpoint),
       bulk_kind_(bulk),
       fast_bulk_(bulk == BulkBackend::kUdp ? nullptr
-                                           : make_bulk_backend(bulk, endpoint)) {}
+                                           : make_bulk_backend(bulk, endpoint)) {
+  const std::string prefix =
+      "daemon." + std::to_string(endpoint.node()) + ".";
+  MetricsRegistry& registry = MetricsRegistry::global();
+  tm_transfers_served_ = registry.counter(prefix + "transfers_served");
+  tm_transfers_applied_ = registry.counter(prefix + "transfers_applied");
+  tm_bytes_out_ = registry.counter(prefix + "bytes_out");
+  tm_bytes_in_ = registry.counter(prefix + "bytes_in");
+  tm_bulk_fallbacks_ = registry.counter(prefix + "bulk_fallbacks");
+  tm_bundle_send_us_ = registry.histogram(prefix + "bundle_send_us");
+}
 
 DaemonService::~DaemonService() { stop(); }
 
@@ -231,6 +241,10 @@ void DaemonService::handle_directive(net::NodeId src,
 
   // Count before sending: once the bundle is on the wire the puller may
   // observe it (and read our stats) before this thread runs again.
+  tm_transfers_served_->add();
+  tm_bytes_out_->add(data.size());
+  FlightRecorder::record(trace::EventKind::kTransferServed, endpoint_.node(),
+                         directive.dst_site, directive.lock_id, data.size());
   {
     util::MutexLock lock(mu_);
     ++stats_.transfers_served;
@@ -284,9 +298,13 @@ void DaemonService::bulk_send_loop() {
       fast_send_fallback(std::move(job));
       continue;
     }
+    const std::int64_t t_send = Clock::monotonic().now_us();
     const util::Status sent = fast_bulk_->send_bundle(
         job.dst, job.port, job.data, kFastBulkSendTimeoutUs);
-    if (sent.is_ok()) continue;
+    if (sent.is_ok()) {
+      tm_bundle_send_us_->record(Clock::monotonic().now_us() - t_send);
+      continue;
+    }
     MOCHA_WARN("live") << "daemon " << endpoint_.node() << ": "
                        << bulk_backend_name(bulk_kind_)
                        << " bulk send of lock " << job.lock_id << " to site "
@@ -297,6 +315,9 @@ void DaemonService::bulk_send_loop() {
 }
 
 void DaemonService::fast_send_fallback(FastSend job) {
+  tm_bulk_fallbacks_->add();
+  FlightRecorder::record(trace::EventKind::kBulkFallback, endpoint_.node(),
+                         job.dst, job.lock_id, job.data.size());
   {
     util::MutexLock lock(mu_);
     --stats_.bulk_fast_served;
@@ -319,7 +340,7 @@ void DaemonService::bulk_loop() {
     if (!bundle.has_value()) continue;
     try {
       util::WireReader reader(bundle->payload);
-      apply_bundle(bundle->src, reader);
+      apply_bundle(bundle->src, reader, bundle->payload.size());
     } catch (const util::CodecError& err) {
       MOCHA_DEBUG("live") << "daemon " << endpoint_.node()
                           << ": dropping malformed "
@@ -397,7 +418,7 @@ void DaemonService::data_loop() {
     if (!msg.has_value()) continue;
     try {
       util::WireReader reader(msg->payload);
-      apply_bundle(msg->src, reader);
+      apply_bundle(msg->src, reader, msg->payload.size());
     } catch (const util::CodecError& err) {
       MOCHA_DEBUG("live") << "daemon " << endpoint_.node()
                           << ": dropping malformed bundle from node "
@@ -406,10 +427,12 @@ void DaemonService::data_loop() {
   }
 }
 
-void DaemonService::apply_bundle(net::NodeId src, util::WireReader& reader) {
+void DaemonService::apply_bundle(net::NodeId src, util::WireReader& reader,
+                                 std::size_t wire_bytes) {
   const LockId lock_id = reader.u32();
   const Version version = reader.u64();
   const std::uint32_t count = reader.u32();
+  tm_bytes_in_->add(wire_bytes);
 
   util::MutexLock lock(mu_);
   LockReplicas& lk = lock_replicas(lock_id);
@@ -428,6 +451,9 @@ void DaemonService::apply_bundle(net::NodeId src, util::WireReader& reader) {
   lk.version = version;
   ++lk.applied;
   ++stats_.transfers_applied;
+  tm_transfers_applied_->add();
+  FlightRecorder::record(trace::EventKind::kUpdatePushed, endpoint_.node(),
+                         src, lock_id, static_cast<std::int64_t>(version));
   version_cv_.notify_all();
   MOCHA_DEBUG("live") << "daemon " << endpoint_.node() << ": applied lock "
                       << lock_id << " version " << version << " from node "

@@ -162,7 +162,9 @@ class DaemonService {
   void fast_send_fallback(FastSend job) EXCLUDES(mu_);
   void handle_directive(net::NodeId src, util::WireReader& reader)
       EXCLUDES(mu_);
-  void apply_bundle(net::NodeId src, util::WireReader& reader) EXCLUDES(mu_);
+  // `wire_bytes` is the bundle's full payload size, for the byte counters.
+  void apply_bundle(net::NodeId src, util::WireReader& reader,
+                    std::size_t wire_bytes) EXCLUDES(mu_);
   void record_peer_bulk(net::NodeId peer, std::uint8_t backends,
                         std::uint16_t tcp_port, std::uint16_t budp_port)
       EXCLUDES(mu_);
@@ -188,6 +190,14 @@ class DaemonService {
   std::set<net::NodeId> hello_sent_ GUARDED_BY(mu_);
   std::deque<FastSend> fast_sends_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
+
+  // Registry handles ("daemon.<node>.*"), resolved once in the constructor.
+  Counter* tm_transfers_served_ = nullptr;
+  Counter* tm_transfers_applied_ = nullptr;
+  Counter* tm_bytes_out_ = nullptr;
+  Counter* tm_bytes_in_ = nullptr;
+  Counter* tm_bulk_fallbacks_ = nullptr;
+  Histogram* tm_bundle_send_us_ = nullptr;
 };
 
 // Marshals / unmarshals the replica bundle that follows the

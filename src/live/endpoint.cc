@@ -45,6 +45,8 @@ Endpoint::Endpoint(net::NodeId node, std::uint16_t udp_port,
   }
   max_chunk_ = opts_.mtu - kLiveEnvelopeBytes - net::kFragHeaderBytes;
   gap_skip_window_us_ = retry_schedule_us() + 2 * opts_.rto_us;
+  tm_send_ack_us_ = MetricsRegistry::global().histogram(
+      "ep." + std::to_string(node_) + ".send_ack_us");
 
   sock_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (sock_ < 0) {
@@ -122,6 +124,14 @@ Endpoint::PeerState& Endpoint::peer_state(net::NodeId peer) {
     state.rtt = RttEstimator(RttEstimator::Params{
         opts_.rto_us, opts_.min_rto_us, opts_.max_rto_us,
         opts_.rto_backoff_cap});
+    const std::string prefix =
+        "ep." + std::to_string(node_) + ".peer." + std::to_string(peer) + ".";
+    MetricsRegistry& registry = MetricsRegistry::global();
+    state.tm_retransmits = registry.counter(prefix + "retransmits");
+    state.tm_nacks_tx = registry.counter(prefix + "nacks_tx");
+    state.tm_nacks_rx = registry.counter(prefix + "nacks_rx");
+    state.tm_rto_us = registry.gauge(prefix + "rto_us");
+    state.tm_rto_us->set(opts_.rto_us);
     it = peers_.emplace(peer, std::move(state)).first;
   }
   return it->second;
@@ -536,6 +546,11 @@ void Endpoint::fire_timers(std::int64_t now_us) {
       queue_tx(out->addr, datagram);
       ++retransmissions_;
     }
+    peer.tm_retransmits->add(out->datagrams.size());
+    peer.tm_rto_us->set(opts_.adaptive_rto ? peer.rtt.rto_us() : opts_.rto_us);
+    FlightRecorder::record(trace::EventKind::kRetransmit, node_,
+                           it->first.first, it->first.second,
+                           static_cast<std::uint64_t>(out->retries_left));
     ++it;
   }
   if (notified) ack_cv_.notify_all();
@@ -569,6 +584,9 @@ void Endpoint::fire_timers(std::int64_t now_us) {
     queue_tx(peer_it->second.addr, std::move(datagram));
     ++re.nacks_sent;
     ++nacks_sent_;
+    peer_it->second.tm_nacks_tx->add();
+    FlightRecorder::record(trace::EventKind::kNackSent, node_, key.first,
+                           key.second, re.assembler.missing().size());
     re.nack_deadline_us = now_us + opts_.nack_delay_us;
   }
 
@@ -734,18 +752,22 @@ void Endpoint::process_datagram(const std::uint8_t* data, std::size_t len,
         const net::NackFrame nack = net::decode_nack_frame(reader);
         util::MutexLock lock(mu_);
         ++nacks_received_;
+        peer_state(src).tm_nacks_rx->add();
         auto it = outstanding_.find({src, nack.seq});
         if (it == outstanding_.end()) break;
         std::shared_ptr<Outstanding>& out = it->second;
+        std::uint64_t resent = 0;
         for (std::uint32_t idx : nack.missing) {
           if (idx >= out->datagrams.size()) continue;
           queue_tx(out->addr, out->datagrams[idx]);
           ++retransmissions_;
+          ++resent;
         }
         // The peer is alive and mid-recovery: push the full-message resend
         // out one RTO so the selective repair gets a chance to complete.
         out->retransmitted = true;  // Karn
         PeerState& peer = peer_state(src);
+        peer.tm_retransmits->add(resent);
         out->next_resend_us =
             clock_->now_us() +
             (opts_.adaptive_rto ? peer.rtt.rto_us() : opts_.rto_us);
@@ -767,8 +789,11 @@ void Endpoint::handle_ack_seq(net::NodeId src, std::uint64_t seq,
     // Karn's rule: only never-retransmitted messages yield RTT samples
     // (a retransmitted one's ack is ambiguous). A sample also resets the
     // peer's exponential backoff.
-    peer_state(src).rtt.sample(now_us - out->sent_at_us);
+    PeerState& peer = peer_state(src);
+    peer.rtt.sample(now_us - out->sent_at_us);
+    peer.tm_rto_us->set(peer.rtt.rto_us());
   }
+  tm_send_ack_us_->record(now_us - out->sent_at_us);
   out->acked = true;
   outstanding_.erase(it);
   ack_cv_.notify_all();

@@ -60,6 +60,7 @@
 #include <netinet/in.h>
 
 #include "live/clock.h"
+#include "live/telemetry.h"
 #include "net/frame.h"
 #include "net/types.h"
 #include "util/mutex.h"
@@ -234,12 +235,18 @@ class Endpoint {
     bool failed = false;
   };
 
-  // Per-peer transport state: address, RTT estimator, pending delayed acks.
+  // Per-peer transport state: address, RTT estimator, pending delayed acks,
+  // and cached telemetry handles ("ep.<node>.peer.<peer>.*") resolved once
+  // at slot creation so hot-path increments are single relaxed atomics.
   struct PeerState {
     sockaddr_in addr{};
     RttEstimator rtt;
     std::vector<std::uint64_t> pending_acks;
     std::int64_t ack_deadline_us = 0;  // 0 = no ack pending
+    Counter* tm_retransmits = nullptr;
+    Counter* tm_nacks_tx = nullptr;
+    Counter* tm_nacks_rx = nullptr;
+    Gauge* tm_rto_us = nullptr;
   };
 
   // Members of the nested helper structs below (Outstanding, PortQueue,
@@ -358,6 +365,10 @@ class Endpoint {
   std::atomic<std::uint64_t> netem_dropped_{0};
   std::atomic<std::uint64_t> rx_batches_{0};
   std::atomic<std::uint64_t> rx_batched_datagrams_{0};
+
+  // Send→ack completion latency ("ep.<node>.send_ack_us"): first
+  // transmission to transport ack, retransmit tail included.
+  Histogram* tm_send_ack_us_ = nullptr;
 };
 
 // Bytes of the per-datagram source-node envelope preceding the frame.

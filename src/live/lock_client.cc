@@ -17,7 +17,13 @@ LockClient::LockClient(Endpoint& endpoint, net::NodeId server,
       daemon_(daemon),
       clock_(&Clock::monotonic()),
       next_port_(opts.reply_port_base),
-      nonce_(opts.nonce_seed) {}
+      nonce_(opts.nonce_seed) {
+  const std::string prefix =
+      "client." + std::to_string(endpoint.node()) + ".";
+  MetricsRegistry& registry = MetricsRegistry::global();
+  tm_acquire_grant_us_ = registry.histogram(prefix + "acquire_grant_us");
+  tm_grant_transfer_us_ = registry.histogram(prefix + "grant_transfer_us");
+}
 
 LockClient::LockLocal& LockClient::local(replica::LockId lock_id) {
   auto it = locks_.find(lock_id);
@@ -197,6 +203,8 @@ util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
   util::Buffer request;
   msg.encode(request);
   endpoint_.send(home_for(lock_id), replica::kSyncPort, std::move(request));
+  FlightRecorder::record(trace::EventKind::kLockRequested, endpoint_.node(),
+                         home_for(lock_id), lock_id, 0, nonce);
 
   const std::int64_t deadline = t_request + opts_.grant_timeout_us;
   while (true) {
@@ -218,10 +226,17 @@ util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
           util::StatusCode::kRejected,
           "site is blacklisted after a broken lock (failed while owning)");
     }
-    last_grant_latency_us_ = clock_->now_us() - t_request;
+    const std::int64_t t_grant = clock_->now_us();
+    last_grant_latency_us_ = t_grant - t_request;
+    tm_acquire_grant_us_->record(last_grant_latency_us_);
+    FlightRecorder::record(trace::EventKind::kLockGranted, endpoint_.node(),
+                           home_for(lock_id), lock_id, grant.version, nonce);
 
     if (grant.flag == GrantFlag::kNeedNewVersion && daemon_ != nullptr) {
       util::Status pulled = pull_replica(lock_id, lk, grant);
+      if (pulled.is_ok()) {
+        tm_grant_transfer_us_->record(clock_->now_us() - t_grant);
+      }
       if (!pulled.is_ok()) {
         // Do NOT release: the server believes this site holds the lock and
         // its lease breaker owns the cleanup (same as the sim's ReplicaLock
@@ -235,6 +250,7 @@ util::Status LockClient::acquire(replica::LockId lock_id, LockWireMode mode,
     lk.version = grant.version;
     lk.held = true;
     lk.shared = mode == LockWireMode::kShared;
+    lk.nonce = nonce;
     ++acquires_;
     return util::Status::ok();
   }
@@ -267,6 +283,8 @@ util::Status LockClient::release(replica::LockId lock_id) {
   msg.encode(release);
   endpoint_.send(home_for(lock_id), replica::kSyncPort, std::move(release));
   ++releases_;
+  FlightRecorder::record(trace::EventKind::kLockReleased, endpoint_.node(),
+                         home_for(lock_id), lock_id, new_version, lk.nonce);
   return util::Status::ok();
 }
 

@@ -117,6 +117,7 @@ class LockClient {
     replica::Version version = 0;
     net::Port grant_port = 0;
     net::Port data_port = 0;
+    std::uint64_t nonce = 0;  // of the acquire that holds the lock
   };
 
   LockLocal& local(replica::LockId lock_id);
@@ -147,6 +148,11 @@ class LockClient {
   std::uint64_t transfers_pulled_ = 0;
   std::uint64_t transfer_retries_ = 0;
   std::uint64_t transfer_timeouts_ = 0;
+
+  // Span histograms ("client.<node>.*"): request -> grant, and grant ->
+  // transfer-applied for NEED_NEW_VERSION acquires.
+  Histogram* tm_acquire_grant_us_ = nullptr;
+  Histogram* tm_grant_transfer_us_ = nullptr;
 };
 
 }  // namespace mocha::live

@@ -17,6 +17,17 @@ using replica::LockWireMode;
 
 LockServer::LockServer(Endpoint& endpoint, LockServerOptions opts)
     : endpoint_(endpoint), opts_(opts), reactor_(opts.reactor) {
+  const std::string prefix = "shard." + std::to_string(opts_.shard_id) + ".";
+  MetricsRegistry& registry = MetricsRegistry::global();
+  tm_acquires_ = registry.counter(prefix + "acquires");
+  tm_grants_ = registry.counter(prefix + "grants");
+  tm_releases_ = registry.counter(prefix + "releases");
+  tm_lease_breaks_ = registry.counter(prefix + "lease_breaks");
+  tm_stats_requests_ = registry.counter(prefix + "stats_requests");
+  tm_queue_depth_ = registry.gauge(prefix + "queue_depth");
+  tm_active_leases_ = registry.gauge(prefix + "active_leases");
+  tm_wait_us_ = registry.histogram(prefix + "wait_us");
+  tm_hold_us_ = registry.histogram(prefix + "hold_us");
   util::MutexLock guard(mu_);
   stats_.shard_id = opts_.shard_id;
 }
@@ -79,6 +90,8 @@ bool LockServer::is_blacklisted(std::uint32_t site) const {
 }
 
 void LockServer::publish_gauges() {
+  tm_queue_depth_->set(static_cast<std::int64_t>(queued_waiters_));
+  tm_active_leases_->set(static_cast<std::int64_t>(active_leases_));
   util::MutexLock guard(mu_);
   stats_.queued_waiters = queued_waiters_;
   stats_.active_leases = active_leases_;
@@ -131,6 +144,9 @@ void LockServer::handle(Endpoint::Message msg) {
       case replica::kShardMapRequest:
         handle_shard_map_request(msg.src, reader);
         break;
+      case replica::kStatsRequest:
+        handle_stats_request(msg.src, reader);
+        break;
       default:
         // Sim-only traffic (replica registry, cached directory, …) is not
         // served by the live lock server yet.
@@ -154,6 +170,19 @@ void LockServer::handle_shard_map_request(net::NodeId src,
   ++stats_.shard_map_requests;
 }
 
+void LockServer::handle_stats_request(net::NodeId src,
+                                      util::WireReader& reader) {
+  const auto request = replica::StatsRequestMsg::decode(reader);
+  tm_stats_requests_->add();
+  replica::StatsReplyMsg answer;
+  answer.probe_nonce = request.probe_nonce;
+  answer.shard_id = opts_.shard_id;
+  fill_stats_reply(MetricsRegistry::global().snapshot(), answer);
+  util::Buffer reply;
+  answer.encode(reply);
+  endpoint_.send(src, request.reply_port, std::move(reply));
+}
+
 void LockServer::handle_acquire(util::WireReader& reader) {
   const auto msg = replica::AcquireLockMsg::decode(reader);
   Request req;
@@ -167,6 +196,10 @@ void LockServer::handle_acquire(util::WireReader& reader) {
                                    opts_.default_expected_hold_us);
   req.mode = msg.mode;
   req.nonce = msg.nonce;
+  req.enqueued_at_us = Clock::monotonic().now_us();
+  tm_acquires_->add();
+  FlightRecorder::record(trace::EventKind::kLockRequested, endpoint_.node(),
+                         req.site, req.lock_id, 0, req.nonce);
 
   bool rejected = false;
   {
@@ -215,9 +248,15 @@ void LockServer::activate(LockState& lock, Request req) {
   // §4 failure detection as a continuation: one reactor timer per active
   // hold replaces the old periodic lease scan. The timer is cancelled on
   // release; (site, nonce) re-checked at expiry for the cancel/fire race.
+  const std::int64_t now_us = Clock::monotonic().now_us();
+  req.granted_at_us = now_us;
+  tm_wait_us_->record(now_us - req.enqueued_at_us);
+  tm_grants_->add();
+  FlightRecorder::record(trace::EventKind::kLockGranted, endpoint_.node(),
+                         req.site, req.lock_id, lock.version, req.nonce);
   const std::int64_t lease_deadline_us =
-      Clock::monotonic().now_us() +
-      static_cast<std::int64_t>(req.expected_hold_us) + opts_.lease_grace_us;
+      now_us + static_cast<std::int64_t>(req.expected_hold_us) +
+      opts_.lease_grace_us;
   req.lease_timer = reactor_.call_at(
       lease_deadline_us,
       [this, lock_id = req.lock_id, site = req.site, nonce = req.nonce] {
@@ -268,6 +307,11 @@ void LockServer::handle_release(util::WireReader& reader) {
       [&](const Request& r) { return r.site == msg.site; });
   if (active_it != lock.active.end()) {
     reactor_.cancel(active_it->lease_timer);
+    tm_hold_us_->record(Clock::monotonic().now_us() -
+                        active_it->granted_at_us);
+    FlightRecorder::record(trace::EventKind::kLockReleased, endpoint_.node(),
+                           msg.site, msg.lock_id, msg.new_version,
+                           active_it->nonce);
     lock.active.erase(active_it);
     --active_leases_;
   } else {
@@ -291,6 +335,7 @@ void LockServer::handle_release(util::WireReader& reader) {
     // A reader received (or already had) the current version.
     lock.up_to_date.insert(msg.site);
   }
+  tm_releases_->add();
   {
     util::MutexLock guard(mu_);
     ++stats_.releases;
@@ -318,6 +363,9 @@ void LockServer::on_lease_expired(replica::LockId lock_id, std::uint32_t site,
   lock.holders.erase(site);
   lock.up_to_date.erase(site);
   blacklist_site(site);
+  tm_lease_breaks_->add();
+  FlightRecorder::record(trace::EventKind::kLockBroken, endpoint_.node(),
+                         site, lock_id, 0, nonce);
   {
     util::MutexLock guard(mu_);
     ++stats_.locks_broken;

@@ -111,6 +111,10 @@ class LockServer {
     std::uint64_t nonce = 0;
     // Reactor lease timer armed at activation, cancelled at release.
     Reactor::TimerId lease_timer = Reactor::kInvalidTimer;
+    // Telemetry span anchors (monotonic): arrival -> activate() is the wait
+    // histogram, activate() -> release is the hold histogram.
+    std::int64_t enqueued_at_us = 0;
+    std::int64_t granted_at_us = 0;
   };
 
   struct LockState {
@@ -134,6 +138,8 @@ class LockServer {
   void handle_release(util::WireReader& reader) EXCLUDES(mu_);
   void handle_shard_map_request(net::NodeId src, util::WireReader& reader)
       EXCLUDES(mu_);
+  // §11 introspection: answers with the whole process's registry snapshot.
+  void handle_stats_request(net::NodeId src, util::WireReader& reader);
   void grant_from_queue(LockState& lock) EXCLUDES(mu_);
   void activate(LockState& lock, Request req) EXCLUDES(mu_);
   void send_grant(const Request& req, replica::Version version,
@@ -169,6 +175,18 @@ class LockServer {
   // is_blacklisted() read from arbitrary threads.
   std::set<std::uint32_t> blacklist_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
+
+  // Registry handles ("shard.<id>.*"), resolved once in the constructor;
+  // written from the reactor thread, scraped from anywhere.
+  Counter* tm_acquires_ = nullptr;
+  Counter* tm_grants_ = nullptr;
+  Counter* tm_releases_ = nullptr;
+  Counter* tm_lease_breaks_ = nullptr;
+  Counter* tm_stats_requests_ = nullptr;
+  Gauge* tm_queue_depth_ = nullptr;
+  Gauge* tm_active_leases_ = nullptr;
+  Histogram* tm_wait_us_ = nullptr;
+  Histogram* tm_hold_us_ = nullptr;
 };
 
 }  // namespace mocha::live

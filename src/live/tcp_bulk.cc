@@ -44,7 +44,9 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 }  // namespace
 
 TcpBulkBackend::TcpBulkBackend(Endpoint& endpoint, TcpBulkOptions opts)
-    : endpoint_(endpoint), opts_(opts) {
+    : endpoint_(endpoint),
+      opts_(opts),
+      tm_(resolve_bulk_counters(BulkBackend::kTcp, endpoint.node())) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw std::system_error(errno, std::generic_category(), "tcp-bulk socket");
@@ -181,8 +183,10 @@ util::Status TcpBulkBackend::send_bundle(net::NodeId dst, net::Port port,
     util::MutexLock lock(mu_);
     if (result.is_ok()) {
       ++stats_.bundles_sent;
+      tm_.sent->add();
     } else {
       ++stats_.send_failures;
+      tm_.failures->add();
     }
   }
   return result;
@@ -453,7 +457,10 @@ void TcpBulkBackend::fail_conn(net::NodeId dst, util::StatusCode code,
   conns_.erase(it);
   util::MutexLock lock(mu_);
   cached_conns_gauge_ = conns_.size();
-  if (was_established) ++stats_.repairs;
+  if (was_established) {
+    ++stats_.repairs;
+    tm_.repairs->add();
+  }
 }
 
 void TcpBulkBackend::evict_idle_over_cap() {
@@ -618,6 +625,7 @@ void TcpBulkBackend::inbound_event(int fd, std::uint32_t events) {
     queue.bundles.push_back(std::move(bundle));
     queue.cv.notify_all();
     ++stats_.bundles_received;
+    tm_.received->add();
   }
   if (consumed > 0) {
     in.buf.erase(in.buf.begin(),

@@ -161,6 +161,7 @@ class TcpBulkBackend final : public TransportBackend {
   std::thread loop_thread_;
 
   mutable util::Mutex mu_;
+  BulkCounters tm_;
   std::map<net::NodeId, std::uint16_t> contacts_ GUARDED_BY(mu_);
   std::map<net::Port, std::unique_ptr<PortQueue>> delivered_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);

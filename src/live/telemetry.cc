@@ -1,0 +1,351 @@
+#include "live/telemetry.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "live/clock.h"
+#include "live/endpoint.h"
+
+namespace mocha::live {
+
+std::int64_t wall_clock_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+// --- Histogram ---
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  // 0 -> bucket 0; otherwise bit_width(v) in [1, 64), so bucket b covers
+  // [2^(b-1), 2^b - 1].
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t bucket) {
+  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+void Histogram::record(std::int64_t sample) {
+  const std::uint64_t v =
+      sample <= 0 ? 0 : static_cast<std::uint64_t>(sample);
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      // Upper edge of the bucket: 2^i - 1 for i >= 1, 0 for the zero bucket.
+      return i == 0 ? 0.0
+                    : static_cast<double>((std::uint64_t{1} << i) - 1);
+    }
+  }
+  return static_cast<double>(bucket_floor(kBuckets - 1));
+}
+
+// --- MetricsRegistry ---
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.wall_us = wall_clock_us();
+  util::MutexLock lock(mu_);
+  snap.metrics.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.metrics.push_back(
+        MetricValue{name, replica::StatsReplyMsg::kCounter,
+                    static_cast<std::int64_t>(counter->value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.metrics.push_back(
+        MetricValue{name, replica::StatsReplyMsg::kGauge, gauge->value()});
+  }
+  snap.hists.reserve(hists_.size());
+  for (const auto& [name, hist] : hists_) {
+    snap.hists.push_back(HistValue{name, hist->snapshot()});
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+// --- FlightRecorder ---
+
+namespace {
+
+// One per recording thread. The mutex is uncontended except while a
+// snapshot walks the directory, so record() stays cheap; shared_ptr keeps a
+// ring alive past its thread's exit so exit-time dumps see every thread
+// that ever recorded.
+struct Ring {
+  util::Mutex mu;
+  std::array<FlightEvent, FlightRecorder::kRingSize> slots GUARDED_BY(mu);
+  std::uint64_t next GUARDED_BY(mu) = 0;  // total events ever recorded
+};
+
+struct RingDirectory {
+  util::Mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings GUARDED_BY(mu);
+};
+
+RingDirectory& ring_directory() {
+  static RingDirectory* dir = new RingDirectory();
+  return *dir;
+}
+
+Ring& thread_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto created = std::make_shared<Ring>();
+    RingDirectory& dir = ring_directory();
+    util::MutexLock lock(dir.mu);
+    dir.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+void FlightRecorder::record(trace::EventKind kind, std::uint32_t site,
+                            std::uint32_t peer, std::uint64_t object,
+                            std::uint64_t value, std::uint64_t nonce) {
+  FlightEvent event;
+  event.wall_us = wall_clock_us();
+  event.kind = kind;
+  event.site = site;
+  event.peer = peer;
+  event.object = object;
+  event.value = value;
+  event.nonce = nonce;
+
+  Ring& ring = thread_ring();
+  util::MutexLock lock(ring.mu);
+  ring.slots[ring.next % FlightRecorder::kRingSize] = event;
+  ++ring.next;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingDirectory& dir = ring_directory();
+    util::MutexLock lock(dir.mu);
+    rings = dir.rings;
+  }
+  std::vector<FlightEvent> events;
+  for (const auto& ring : rings) {
+    util::MutexLock lock(ring->mu);
+    const std::uint64_t have = std::min<std::uint64_t>(ring->next, kRingSize);
+    for (std::uint64_t i = ring->next - have; i < ring->next; ++i) {
+      events.push_back(ring->slots[i % kRingSize]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.wall_us < b.wall_us;
+            });
+  return events;
+}
+
+std::string FlightRecorder::to_json_lines(
+    const std::vector<FlightEvent>& events) {
+  std::ostringstream out;
+  for (const FlightEvent& e : events) {
+    out << "{\"wall_us\": " << e.wall_us << ", \"kind\": \""
+        << trace::event_kind_name(e.kind) << "\", \"site\": " << e.site
+        << ", \"peer\": " << e.peer << ", \"object\": " << e.object
+        << ", \"value\": " << e.value << ", \"nonce\": " << e.nonce << "}\n";
+  }
+  return out.str();
+}
+
+void FlightRecorder::reset() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingDirectory& dir = ring_directory();
+    util::MutexLock lock(dir.mu);
+    rings = dir.rings;
+  }
+  for (const auto& ring : rings) {
+    util::MutexLock lock(ring->mu);
+    ring->next = 0;
+    ring->slots.fill(FlightEvent{});
+  }
+}
+
+// --- JSON rendering / wire bridging ---
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_stats_json(const MetricsRegistry::Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"wall_us\": " << snap.wall_us << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& m : snap.metrics) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(m.name)
+        << "\": " << m.value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.hists) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(h.name)
+        << "\": {\"count\": " << h.hist.count << ", \"sum\": " << h.hist.sum
+        << ", \"p50\": " << h.hist.percentile(0.5)
+        << ", \"p99\": " << h.hist.percentile(0.99) << ", \"buckets\": [";
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.hist.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      out << (i == 0 ? "" : ", ") << h.hist.buckets[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+void fill_stats_reply(const MetricsRegistry::Snapshot& snap,
+                      replica::StatsReplyMsg& reply) {
+  reply.wall_us = snap.wall_us;
+  reply.metrics.reserve(snap.metrics.size());
+  for (const auto& m : snap.metrics) {
+    reply.metrics.push_back(
+        replica::StatsReplyMsg::Metric{m.name, m.kind, m.value});
+  }
+  reply.hists.reserve(snap.hists.size());
+  for (const auto& h : snap.hists) {
+    replica::StatsReplyMsg::Hist hist;
+    hist.name = h.name;
+    hist.count = h.hist.count;
+    hist.sum = h.hist.sum;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.hist.buckets[i] != 0) last = i + 1;
+    }
+    hist.buckets.assign(h.hist.buckets.begin(),
+                        h.hist.buckets.begin() +
+                            static_cast<std::ptrdiff_t>(last));
+    reply.hists.push_back(std::move(hist));
+  }
+}
+
+std::optional<replica::StatsReplyMsg> scrape_stats(Endpoint& endpoint,
+                                                   net::NodeId server,
+                                                   net::Port reply_port,
+                                                   std::int64_t timeout_us) {
+  static std::atomic<std::uint64_t> next_probe{1};
+  const std::uint64_t probe = next_probe.fetch_add(1);
+  util::Buffer request;
+  replica::StatsRequestMsg{reply_port, probe}.encode(request);
+  endpoint.send(server, replica::kSyncPort, std::move(request));
+
+  const std::int64_t deadline = Clock::monotonic().now_us() + timeout_us;
+  while (true) {
+    const std::int64_t now = Clock::monotonic().now_us();
+    if (now >= deadline) return std::nullopt;
+    auto reply = endpoint.recv_for(reply_port, deadline - now);
+    if (!reply.has_value()) continue;
+    try {
+      util::WireReader reader(reply->payload);
+      if (reader.u8() != replica::kStatsReply) continue;
+      auto msg = replica::StatsReplyMsg::decode(reader);
+      if (msg.probe_nonce != probe) continue;  // stale reply: discard
+      return msg;
+    } catch (const util::CodecError&) {
+      continue;
+    }
+  }
+}
+
+}  // namespace mocha::live

@@ -1,0 +1,202 @@
+// live telemetry — the observability substrate for the live runtime.
+//
+// Three cooperating pieces (paper §7's "visualization support", live twin of
+// the sim's trace::Tracer):
+//
+//   MetricsRegistry  named counters, gauges, and log2-bucketed latency
+//                    histograms. Lookup by name takes the registry mutex
+//                    once; the returned pointer is stable for the process
+//                    lifetime and every increment after that is a single
+//                    relaxed atomic op, so hot paths (per-datagram, per-ack)
+//                    stay lock-free. snapshot() is the coherent read side.
+//
+//   FlightRecorder   a fixed-size per-thread ring of structured protocol
+//                    events tagged with the sim's trace::EventKind
+//                    vocabulary, wall-clock (CLOCK_REALTIME) timestamps, and
+//                    the client nonce as the cross-node correlation key:
+//                    grep two nodes' dumps for the same nonce to follow one
+//                    acquire across the cluster. Rings survive thread exit
+//                    (a shared_ptr registry keeps them alive) so an exit
+//                    dump sees every thread that ever recorded.
+//
+//   scrape_stats()   the client half of the kStatsRequest/kStatsReply wire
+//                    pair (PROTOCOL.md §11): ask any live lock-server shard
+//                    for its process's registry snapshot over the normal
+//                    MochaNet UDP path.
+//
+// Everything is process-global on purpose: a mocha_live process hosts many
+// components (N shards, daemon, endpoint) and the scrape/dump surface wants
+// one coherent view, so components namespace themselves by metric name
+// ("shard.3.wait_us", "ep.1001.send_ack_us") instead of by registry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/types.h"
+#include "replica/wire.h"
+#include "trace/event_kind.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mocha::live {
+
+class Endpoint;
+
+// Microseconds since the Unix epoch (CLOCK_REALTIME) — flight-recorder
+// events use wall time so dumps from different machines line up.
+std::int64_t wall_clock_us();
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Log2-bucketed latency histogram: bucket 0 holds exactly the value 0,
+// bucket b >= 1 holds [2^(b-1), 2^b - 1] — so every microsecond latency up
+// to ~2^63 lands somewhere and p99 costs one pass over 64 buckets. record()
+// is three relaxed atomic adds; negative samples (clock steps) clamp to 0.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::int64_t sample);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  static std::size_t bucket_of(std::uint64_t value);
+  // Inclusive lower bound of `bucket` (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t bucket);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void merge(const Snapshot& other);
+    // Upper edge of the bucket where the cumulative count crosses
+    // p * count (p in [0, 1]); 0 when empty. Log2 resolution, which is
+    // exactly what a dashboard tail-latency readout needs.
+    double percentile(double p) const;
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Stable for the process lifetime; the same name always returns the same
+  // object, so concurrent registration from two components is safe.
+  Counter* counter(const std::string& name) EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* histogram(const std::string& name) EXCLUDES(mu_);
+
+  struct MetricValue {
+    std::string name;
+    std::uint8_t kind = 0;  // replica::StatsReplyMsg::kCounter / kGauge
+    std::int64_t value = 0;
+  };
+  struct HistValue {
+    std::string name;
+    Histogram::Snapshot hist;
+  };
+  // Name-ordered (std::map iteration), so dumps are diffable run to run.
+  struct Snapshot {
+    std::int64_t wall_us = 0;
+    std::vector<MetricValue> metrics;
+    std::vector<HistValue> hists;
+  };
+  Snapshot snapshot() const EXCLUDES(mu_);
+
+  // The process-wide registry every live component publishes into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> hists_ GUARDED_BY(mu_);
+};
+
+struct FlightEvent {
+  std::int64_t wall_us = 0;
+  trace::EventKind kind = trace::EventKind::kDatagramSent;
+  std::uint32_t site = 0;    // observing node
+  std::uint32_t peer = 0;    // counterpart (when meaningful)
+  std::uint64_t object = 0;  // lock id / sequence number
+  std::uint64_t value = 0;   // version, bytes, latency, ...
+  std::uint64_t nonce = 0;   // cross-node correlation key (0 = none)
+};
+
+// Per-thread ring buffer of the last kRingSize protocol events. record()
+// touches only the calling thread's ring (its mutex is uncontended except
+// during a snapshot), so it is cheap enough for retransmit/NACK paths while
+// staying TSan- and annotation-clean.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingSize = 512;
+
+  static void record(trace::EventKind kind, std::uint32_t site,
+                     std::uint32_t peer = 0, std::uint64_t object = 0,
+                     std::uint64_t value = 0, std::uint64_t nonce = 0);
+
+  // Every live ring (including rings of threads that already exited),
+  // merged and sorted by wall_us.
+  static std::vector<FlightEvent> snapshot();
+  // One JSON object per line (JSON-lines), the SIGUSR1 dump format.
+  static std::string to_json_lines(const std::vector<FlightEvent>& events);
+  // Test hook: clears all registered rings.
+  static void reset();
+};
+
+// Minimal JSON string escaping (quotes, backslashes, control chars) shared
+// by every telemetry dump writer.
+std::string json_escape(std::string_view s);
+
+// The full registry snapshot as a JSON document — what --stats-json files,
+// the --stats-port TCP listener, and MOCHA_STATS_DIR exit dumps contain.
+std::string render_stats_json(const MetricsRegistry::Snapshot& snap);
+
+// Copies a registry snapshot into the kStatsReply wire shape.
+void fill_stats_reply(const MetricsRegistry::Snapshot& snap,
+                      replica::StatsReplyMsg& reply);
+
+// Client half of the §11 scrape: sends kStatsRequest to `server`'s sync
+// port and waits up to `timeout_us` for the matching kStatsReply on
+// `reply_port` (which must be otherwise unused on `endpoint`). nullopt on
+// timeout.
+std::optional<replica::StatsReplyMsg> scrape_stats(Endpoint& endpoint,
+                                                   net::NodeId server,
+                                                   net::Port reply_port,
+                                                   std::int64_t timeout_us);
+
+}  // namespace mocha::live

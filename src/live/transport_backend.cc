@@ -108,6 +108,18 @@ BulkBackend bulk_backend_from_env(BulkBackend fallback) {
   return *parsed;
 }
 
+BulkCounters resolve_bulk_counters(BulkBackend kind, net::NodeId node) {
+  const std::string prefix = std::string("bulk.") + bulk_backend_name(kind) +
+                             "." + std::to_string(node) + ".";
+  MetricsRegistry& registry = MetricsRegistry::global();
+  BulkCounters tm;
+  tm.sent = registry.counter(prefix + "sent");
+  tm.received = registry.counter(prefix + "received");
+  tm.failures = registry.counter(prefix + "failures");
+  tm.repairs = registry.counter(prefix + "repairs");
+  return tm;
+}
+
 std::uint8_t bulk_backend_cap(BulkBackend kind) {
   switch (kind) {
     case BulkBackend::kUdp:
@@ -130,9 +142,11 @@ util::Status UdpBulkBackend::send_bundle(net::NodeId dst, net::Port port,
     endpoint_.send(dst, port, std::move(payload));
   } catch (const std::logic_error& e) {
     failures_.fetch_add(1, std::memory_order_relaxed);
+    tm_.failures->add();
     return util::Status(util::StatusCode::kUnavailable, e.what());
   }
   sent_.fetch_add(1, std::memory_order_relaxed);
+  tm_.sent->add();
   return util::Status::ok();
 }
 
@@ -141,6 +155,7 @@ std::optional<TransportBackend::Bundle> UdpBulkBackend::recv_bundle(
   auto msg = endpoint_.recv_for(port, timeout_us);
   if (!msg.has_value()) return std::nullopt;
   received_.fetch_add(1, std::memory_order_relaxed);
+  tm_.received->add();
   return Bundle{msg->src, msg->port, std::move(msg->payload)};
 }
 
@@ -166,6 +181,7 @@ BatchedUdpBackend::BatchedUdpBackend(Endpoint& endpoint, BatchedUdpOptions opts)
       opts_(opts),
       max_chunk_(opts.mtu > kBudpDataHeader + 1 ? opts.mtu - kBudpDataHeader
                                                 : 1),
+      tm_(resolve_bulk_counters(BulkBackend::kBatchedUdp, endpoint.node())),
       netem_rng_(opts.netem_seed) {
   sock_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
   if (sock_ < 0) {
@@ -224,6 +240,7 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
   if (!addr.has_value() || addr->ipv4 == 0) {
     util::MutexLock lock(mu_);
     ++stats_.send_failures;
+    tm_.failures->add();
     return util::Status(util::StatusCode::kUnavailable,
                         "batched-udp: no address for node " +
                             std::to_string(dst));
@@ -231,6 +248,7 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
   if (contact == 0) {
     util::MutexLock lock(mu_);
     ++stats_.send_failures;
+    tm_.failures->add();
     return util::Status(util::StatusCode::kUnavailable,
                         "batched-udp: node " + std::to_string(dst) +
                             " advertised no batched-udp contact port");
@@ -314,8 +332,10 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
     waiters_.erase(xfer);
     if (sent_ok) {
       ++stats_.bundles_sent;
+      tm_.sent->add();
     } else {
       ++stats_.send_failures;
+      tm_.failures->add();
     }
   };
   if (!burst(all)) {
@@ -342,6 +362,7 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
       if (waiter->done) {
         waiters_.erase(xfer);
         ++stats_.bundles_sent;
+        tm_.sent->add();
         return util::Status::ok();
       }
       resend.swap(waiter->missing);
@@ -351,6 +372,7 @@ util::Status BatchedUdpBackend::send_bundle(net::NodeId dst, net::Port port,
       if (burst(resend)) {
         util::MutexLock lock(mu_);
         stats_.repairs += resend.size();
+        tm_.repairs->add(resend.size());
       }
       next_probe = now + opts_.probe_interval_us;
       continue;
@@ -517,6 +539,7 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
         queue.bundles.push_back(std::move(bundle));
         queue.cv.notify_all();
         ++stats_.bundles_received;
+        tm_.received->add();
       }
       send_control(kBudpDone, xfer, 0, {}, from);
       return;

@@ -113,13 +113,26 @@ class TransportBackend {
   virtual Stats stats() const = 0;
 };
 
+// Registry handles ("bulk.<backend>.<node>.*") mirroring Stats increments,
+// so scraped telemetry snapshots carry the bulk transport counters without
+// polling each backend instance. Resolved once at backend construction.
+struct BulkCounters {
+  Counter* sent = nullptr;
+  Counter* received = nullptr;
+  Counter* failures = nullptr;
+  Counter* repairs = nullptr;
+};
+BulkCounters resolve_bulk_counters(BulkBackend kind, net::NodeId node);
+
 // The default backend: bulk bundles ride the shared live::Endpoint exactly
 // as before the TransportBackend refactor — send() hands delivery to the
 // adaptive-RTO retransmit machinery, inbound bundles arrive on the
 // endpoint's logical data port.
 class UdpBulkBackend final : public TransportBackend {
  public:
-  explicit UdpBulkBackend(Endpoint& endpoint) : endpoint_(endpoint) {}
+  explicit UdpBulkBackend(Endpoint& endpoint)
+      : endpoint_(endpoint),
+        tm_(resolve_bulk_counters(BulkBackend::kUdp, endpoint.node())) {}
 
   BulkBackend kind() const override { return BulkBackend::kUdp; }
   std::uint16_t contact_port() const override { return 0; }
@@ -136,6 +149,7 @@ class UdpBulkBackend final : public TransportBackend {
 
  private:
   Endpoint& endpoint_;
+  BulkCounters tm_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> failures_{0};
@@ -236,6 +250,7 @@ class BatchedUdpBackend final : public TransportBackend {
   std::thread rx_thread_;
 
   mutable util::Mutex mu_;
+  BulkCounters tm_;
   std::map<net::NodeId, std::uint16_t> contacts_ GUARDED_BY(mu_);
   std::map<std::uint64_t, std::shared_ptr<Waiter>> waiters_ GUARDED_BY(mu_);
   std::map<net::Port, std::unique_ptr<PortQueue>> delivered_ GUARDED_BY(mu_);

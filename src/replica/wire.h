@@ -7,7 +7,9 @@
 //   per-thread grant/data ports — GRANT delivery and direct replica transfer
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/types.h"
@@ -79,6 +81,12 @@ enum MsgType : std::uint8_t {
   // mixed deployments degrade to the MochaNet-UDP bulk path.
   kBulkHello = 27,
   kBulkHelloAck = 28,
+  // Live introspection (§11): any node asks a lock-server shard for its
+  // process's telemetry snapshot — counters, gauges, and latency histograms
+  // from live::MetricsRegistry — served off the shard's reactor so a scrape
+  // never blocks the protocol path.
+  kStatsRequest = 29,
+  kStatsReply = 30,
 };
 
 // Bulk-backend capability bits carried by kBulkHello/kBulkHelloAck (§10).
@@ -454,6 +462,112 @@ struct BulkHelloAckMsg {
     msg.backends = reader.u8();
     msg.tcp_port = reader.u16();
     msg.budp_port = reader.u16();
+    return msg;
+  }
+};
+
+// kStatsRequest: scraper -> lock-server shard (kSyncPort). `probe_nonce` is
+// echoed in the reply so a scraper polling several shards over one reply
+// port can match answers to questions.
+struct StatsRequestMsg {
+  net::Port reply_port = 0;
+  std::uint64_t probe_nonce = 0;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kStatsRequest);
+    writer.u16(reply_port);
+    writer.u64(probe_nonce);
+  }
+  static StatsRequestMsg decode(util::WireReader& reader) {
+    StatsRequestMsg msg;
+    msg.reply_port = reader.u16();
+    msg.probe_nonce = reader.u64();
+    return msg;
+  }
+};
+
+// kStatsReply: lock-server shard -> scraper (the request's reply port). The
+// whole-process registry snapshot in wire form: scalar metrics (counters and
+// gauges) plus log2-bucketed histograms, each carried with its name so the
+// consumer needs no schema. Histogram buckets are transmitted as a prefix —
+// trailing empty buckets are dropped — and bucket index b covers
+// [2^(b-1), 2^b - 1] (bucket 0 is exactly 0), matching live::Histogram.
+struct StatsReplyMsg {
+  static constexpr std::uint8_t kCounter = 0;
+  static constexpr std::uint8_t kGauge = 1;
+
+  struct Metric {
+    std::string name;
+    std::uint8_t kind = kCounter;
+    std::int64_t value = 0;
+  };
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::uint64_t probe_nonce = 0;
+  std::uint32_t shard_id = 0;
+  std::int64_t wall_us = 0;  // CLOCK_REALTIME at snapshot time
+  std::vector<Metric> metrics;
+  std::vector<Hist> hists;
+
+  void encode(util::Buffer& out) const {
+    util::WireWriter writer(out);
+    writer.u8(kStatsReply);
+    writer.u64(probe_nonce);
+    writer.u32(shard_id);
+    writer.i64(wall_us);
+    writer.u32(static_cast<std::uint32_t>(metrics.size()));
+    for (const Metric& m : metrics) {
+      writer.str(m.name);
+      writer.u8(m.kind);
+      writer.i64(m.value);
+    }
+    writer.u32(static_cast<std::uint32_t>(hists.size()));
+    for (const Hist& h : hists) {
+      writer.str(h.name);
+      writer.u64(h.count);
+      writer.u64(h.sum);
+      writer.u32(static_cast<std::uint32_t>(h.buckets.size()));
+      for (std::uint64_t b : h.buckets) writer.u64(b);
+    }
+  }
+  static StatsReplyMsg decode(util::WireReader& reader) {
+    // Reserve caps: counts come off the wire, so never pre-size more than a
+    // sane snapshot could hold — truncated input throws before the loop
+    // runs away anyway.
+    constexpr std::uint32_t kReserveCap = 4096;
+    StatsReplyMsg msg;
+    msg.probe_nonce = reader.u64();
+    msg.shard_id = reader.u32();
+    msg.wall_us = reader.i64();
+    const std::uint32_t n_metrics = reader.u32();
+    msg.metrics.reserve(std::min(n_metrics, kReserveCap));
+    for (std::uint32_t i = 0; i < n_metrics; ++i) {
+      Metric m;
+      m.name = reader.str();
+      m.kind = reader.u8();
+      m.value = reader.i64();
+      msg.metrics.push_back(std::move(m));
+    }
+    const std::uint32_t n_hists = reader.u32();
+    msg.hists.reserve(std::min(n_hists, kReserveCap));
+    for (std::uint32_t i = 0; i < n_hists; ++i) {
+      Hist h;
+      h.name = reader.str();
+      h.count = reader.u64();
+      h.sum = reader.u64();
+      const std::uint32_t n_buckets = reader.u32();
+      h.buckets.reserve(std::min(n_buckets, kReserveCap));
+      for (std::uint32_t b = 0; b < n_buckets; ++b) {
+        h.buckets.push_back(reader.u64());
+      }
+      msg.hists.push_back(std::move(h));
+    }
     return msg;
   }
 };

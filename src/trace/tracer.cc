@@ -6,32 +6,6 @@
 
 namespace mocha::trace {
 
-const char* event_kind_name(EventKind kind) {
-  switch (kind) {
-    case EventKind::kDatagramSent:
-      return "DGRAM_SENT";
-    case EventKind::kDatagramDelivered:
-      return "DGRAM_DELIVERED";
-    case EventKind::kDatagramDropped:
-      return "DGRAM_DROPPED";
-    case EventKind::kLockRequested:
-      return "LOCK_REQUESTED";
-    case EventKind::kLockGranted:
-      return "LOCK_GRANTED";
-    case EventKind::kLockReleased:
-      return "LOCK_RELEASED";
-    case EventKind::kLockBroken:
-      return "LOCK_BROKEN";
-    case EventKind::kTransferServed:
-      return "TRANSFER_SERVED";
-    case EventKind::kUpdatePushed:
-      return "UPDATE_PUSHED";
-    case EventKind::kFailureDetected:
-      return "FAILURE_DETECTED";
-  }
-  return "?";
-}
-
 void Tracer::record(EventKind kind, sim::Time time, std::uint32_t site,
                     std::uint32_t peer, std::uint64_t object,
                     std::uint64_t value) {

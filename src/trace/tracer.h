@@ -21,23 +21,9 @@
 #include <vector>
 
 #include "sim/scheduler.h"
+#include "trace/event_kind.h"
 
 namespace mocha::trace {
-
-enum class EventKind : std::uint8_t {
-  kDatagramSent,
-  kDatagramDelivered,
-  kDatagramDropped,
-  kLockRequested,
-  kLockGranted,
-  kLockReleased,
-  kLockBroken,
-  kTransferServed,
-  kUpdatePushed,
-  kFailureDetected,
-};
-
-const char* event_kind_name(EventKind kind);
 
 struct Event {
   sim::Time time = 0;

@@ -21,6 +21,42 @@ struct Metric {
   std::string unit;
 };
 
+// JSON string escaping for the names/units interpolated into the document
+// below: quotes, backslashes, and control characters would otherwise produce
+// unparseable output (the file name is sanitized, the JSON body was not).
+inline std::string json_escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // "table1_lock_acquire/lan" -> "table1_lock_acquire_lan"
 inline std::string sanitize_bench_name(const std::string& name) {
   std::string out = name;
@@ -40,12 +76,19 @@ inline bool write_bench_json(const std::string& name,
                              const std::string& dir = ".") {
   const std::string path = dir + "/BENCH_" + sanitize_bench_name(name) + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"metrics\": [\n", name.c_str());
+  if (f == nullptr) {
+    // Still non-fatal for the caller, but a silent false turns a mistyped
+    // --bench-json-dir into "the bench ran and wrote nothing".
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"metrics\": [\n",
+               json_escape_field(name).c_str());
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
-                 metrics[i].name.c_str(), metrics[i].value,
-                 metrics[i].unit.c_str(), i + 1 < metrics.size() ? "," : "");
+                 json_escape_field(metrics[i].name).c_str(), metrics[i].value,
+                 json_escape_field(metrics[i].unit).c_str(),
+                 i + 1 < metrics.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -397,6 +397,75 @@ TEST(LockWireCodec, TruncatedBulkHelloThrows) {
   EXPECT_THROW(replica::BulkHelloMsg::decode(reader), util::CodecError);
 }
 
+TEST(LockWireCodec, StatsRequestRoundTrip) {
+  replica::StatsRequestMsg msg;
+  msg.reply_port = 4321;
+  msg.probe_nonce = 0xfeedbeefcafeull;
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kStatsRequest);
+  const auto decoded = replica::StatsRequestMsg::decode(reader);
+  EXPECT_EQ(decoded.reply_port, msg.reply_port);
+  EXPECT_EQ(decoded.probe_nonce, msg.probe_nonce);
+}
+
+TEST(LockWireCodec, StatsReplyRoundTrip) {
+  replica::StatsReplyMsg msg;
+  msg.probe_nonce = 77;
+  msg.shard_id = 3;
+  msg.wall_us = 1'700'000'000'000'000;
+  msg.metrics.push_back({"shard.3.grants", replica::StatsReplyMsg::kCounter,
+                         512});
+  msg.metrics.push_back({"shard.3.queue_depth",
+                         replica::StatsReplyMsg::kGauge, 4});
+  msg.hists.push_back({"shard.3.wait_us", 100, 123456, {1, 0, 3, 96}});
+
+  util::Buffer wire;
+  msg.encode(wire);
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kStatsReply);
+  const auto decoded = replica::StatsReplyMsg::decode(reader);
+  EXPECT_EQ(decoded.probe_nonce, msg.probe_nonce);
+  EXPECT_EQ(decoded.shard_id, msg.shard_id);
+  EXPECT_EQ(decoded.wall_us, msg.wall_us);
+  ASSERT_EQ(decoded.metrics.size(), msg.metrics.size());
+  for (std::size_t i = 0; i < msg.metrics.size(); ++i) {
+    EXPECT_EQ(decoded.metrics[i].name, msg.metrics[i].name);
+    EXPECT_EQ(decoded.metrics[i].kind, msg.metrics[i].kind);
+    EXPECT_EQ(decoded.metrics[i].value, msg.metrics[i].value);
+  }
+  ASSERT_EQ(decoded.hists.size(), 1u);
+  EXPECT_EQ(decoded.hists[0].name, msg.hists[0].name);
+  EXPECT_EQ(decoded.hists[0].count, msg.hists[0].count);
+  EXPECT_EQ(decoded.hists[0].sum, msg.hists[0].sum);
+  EXPECT_EQ(decoded.hists[0].buckets, msg.hists[0].buckets);
+}
+
+TEST(LockWireCodec, TruncatedStatsRequestThrows) {
+  replica::StatsRequestMsg msg;
+  msg.reply_port = 4321;
+  msg.probe_nonce = 99;
+  util::Buffer wire;
+  msg.encode(wire);
+  wire.resize(wire.size() - 4);  // cut inside the nonce
+  util::WireReader reader(wire);
+  ASSERT_EQ(reader.u8(), replica::kStatsRequest);
+  EXPECT_THROW(replica::StatsRequestMsg::decode(reader), util::CodecError);
+}
+
+TEST(LockWireCodec, TruncatedStatsReplyThrows) {
+  replica::StatsReplyMsg msg;
+  msg.hists.push_back({"shard.0.wait_us", 10, 5000, {1, 2, 3, 4}});
+  util::Buffer wire;
+  msg.encode(wire);
+  wire.resize(wire.size() - 6);  // cut inside the bucket list
+  util::WireReader reader(wire);
+  reader.u8();  // type byte (asserted by the round-trip test above)
+  EXPECT_THROW(replica::StatsReplyMsg::decode(reader), util::CodecError);
+}
+
 TEST(LockWireCodec, TruncatedLockMessagesThrow) {
   replica::GrantMsg msg;
   msg.holders = {1, 2, 3};

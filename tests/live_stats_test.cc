@@ -1,0 +1,236 @@
+// End-to-end test of the live telemetry surface (docs/OBSERVABILITY.md):
+//
+//   - forks the mocha_live CLI (MOCHA_LIVE_BIN) as a lock server, drives a
+//     known workload against it with an in-process LockClient, and scrapes
+//     the server's registry over the kStatsRequest/kStatsReply wire pair
+//     (PROTOCOL.md §11) — mid-workload and after — asserting the scraped
+//     shard counters and wait histogram match the driver's own view,
+//   - sends the server SIGUSR1 and asserts the flight-recorder dump is
+//     parseable JSON-lines carrying this client's nonces (the cross-node
+//     correlation key).
+//
+// All waits scale with MOCHA_TEST_TIME_SCALE (sanitizer lanes set it).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/endpoint.h"
+#include "live/lock_client.h"
+#include "live/telemetry.h"
+#include "replica/wire.h"
+
+#ifndef MOCHA_LIVE_BIN
+#error "MOCHA_LIVE_BIN must point at the mocha_live executable"
+#endif
+
+namespace mocha::live {
+namespace {
+
+constexpr net::NodeId kServer = 1;
+constexpr net::NodeId kClientNode = 2;
+constexpr replica::LockId kLock = 5;
+// Any port unused by the client runtime works as the scrape reply port.
+constexpr net::Port kScrapeReplyPort = 99;
+
+int time_scale() {
+  const char* env = std::getenv("MOCHA_TEST_TIME_SCALE");
+  const int scale = env != nullptr ? std::atoi(env) : 1;
+  return scale > 0 ? scale : 1;
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  perror("execv mocha_live");
+  _exit(127);
+}
+
+int join(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The scraped reply as lookup maps.
+struct ScrapedStats {
+  std::map<std::string, std::int64_t> metrics;
+  std::map<std::string, replica::StatsReplyMsg::Hist> hists;
+
+  explicit ScrapedStats(const replica::StatsReplyMsg& reply) {
+    for (const auto& m : reply.metrics) metrics[m.name] = m.value;
+    for (const auto& h : reply.hists) hists[h.name] = h;
+  }
+  std::int64_t metric(const std::string& name) const {
+    auto it = metrics.find(name);
+    return it == metrics.end() ? -1 : it->second;
+  }
+};
+
+TEST(LiveStats, ScrapedReplyMatchesDriversWorkloadView) {
+  constexpr std::uint64_t kRoundsFirst = 20;
+  constexpr std::uint64_t kRoundsSecond = 30;
+  constexpr std::uint64_t kRounds = kRoundsFirst + kRoundsSecond;
+
+  char tmpl[] = "/tmp/mocha_live_stats_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string ready = dir + "/ready";
+  const std::string flight = dir + "/flight.jsonl";
+
+  const pid_t server =
+      spawn({MOCHA_LIVE_BIN, "--server", "--port", "0", "--ready-file", ready,
+             "--flight-json", flight, "--quiet"});
+  std::string port;
+  for (int i = 0; i < 100 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::istringstream(slurp(ready)) >> port;
+  }
+  if (port.empty()) {
+    kill(server, SIGKILL);
+    join(server);
+    FAIL() << "lock server never became ready";
+  }
+
+  Endpoint endpoint(kClientNode, /*udp_port=*/0);
+  endpoint.add_peer(kServer, "127.0.0.1",
+                    static_cast<std::uint16_t>(std::stoi(port)));
+  LockClientOptions opts;
+  opts.grant_timeout_us = 5'000'000LL * time_scale();
+  // Seed the nonce counter with a distinctive high word (mocha_live's own
+  // workers use reply_port_base << 32) so the nonces in the server's flight
+  // dump are attributable to this driver.
+  opts.nonce_seed = static_cast<std::uint64_t>(kClientNode) << 32;
+  LockClient client(endpoint, kServer, opts);
+
+  for (std::uint64_t i = 0; i < kRoundsFirst; ++i) {
+    ASSERT_TRUE(client.acquire(kLock).is_ok()) << "round " << i;
+    ASSERT_TRUE(client.release(kLock).is_ok()) << "round " << i;
+  }
+
+  // Mid-workload scrape: the server must answer while grants are flowing,
+  // and the counters must already reflect the completed first phase.
+  const std::int64_t scrape_timeout_us = 5'000'000LL * time_scale();
+  auto mid = scrape_stats(endpoint, kServer, kScrapeReplyPort,
+                          scrape_timeout_us);
+  ASSERT_TRUE(mid.has_value()) << "mid-workload kStatsReply never arrived";
+  EXPECT_EQ(mid->shard_id, 0u);
+  EXPECT_GT(mid->wall_us, 0);
+  const ScrapedStats mid_stats(*mid);
+  EXPECT_EQ(mid_stats.metric("shard.0.grants"),
+            static_cast<std::int64_t>(kRoundsFirst));
+  EXPECT_EQ(mid_stats.metric("shard.0.releases"),
+            static_cast<std::int64_t>(kRoundsFirst));
+
+  for (std::uint64_t i = 0; i < kRoundsSecond; ++i) {
+    ASSERT_TRUE(client.acquire(kLock).is_ok()) << "round " << i;
+    ASSERT_TRUE(client.release(kLock).is_ok()) << "round " << i;
+  }
+  ASSERT_EQ(client.acquires(), kRounds);
+  ASSERT_EQ(client.releases(), kRounds);
+
+  auto fin = scrape_stats(endpoint, kServer, kScrapeReplyPort,
+                          scrape_timeout_us);
+  ASSERT_TRUE(fin.has_value()) << "final kStatsReply never arrived";
+  const ScrapedStats stats(*fin);
+
+  // The scraped shard counters match the driver's known request count.
+  EXPECT_EQ(stats.metric("shard.0.acquires"),
+            static_cast<std::int64_t>(kRounds));
+  EXPECT_EQ(stats.metric("shard.0.grants"),
+            static_cast<std::int64_t>(kRounds));
+  EXPECT_EQ(stats.metric("shard.0.releases"),
+            static_cast<std::int64_t>(kRounds));
+  EXPECT_EQ(stats.metric("shard.0.lease_breaks"), 0);
+  // Every stats scrape is itself counted (two scrapes so far).
+  EXPECT_EQ(stats.metric("shard.0.stats_requests"), 2);
+  // Uncontended single client: nothing queued, nothing held right now.
+  EXPECT_EQ(stats.metric("shard.0.queue_depth"), 0);
+  EXPECT_EQ(stats.metric("shard.0.active_leases"), 0);
+
+  // The wait histogram saw exactly one sample per grant; the hold histogram
+  // one per release.
+  auto wait_it = stats.hists.find("shard.0.wait_us");
+  ASSERT_NE(wait_it, stats.hists.end());
+  EXPECT_EQ(wait_it->second.count, kRounds);
+  auto hold_it = stats.hists.find("shard.0.hold_us");
+  ASSERT_NE(hold_it, stats.hists.end());
+  EXPECT_EQ(hold_it->second.count, kRounds);
+  // Bucket counts are internally consistent with the advertised total.
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : wait_it->second.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, wait_it->second.count);
+
+  // Retransmit counters exist for this peer and stayed sane on loopback:
+  // never more retransmits than protocol messages exchanged.
+  const std::int64_t retx =
+      stats.metric("ep.1.peer." + std::to_string(kClientNode) +
+                   ".retransmits");
+  ASSERT_GE(retx, 0) << "per-peer retransmit counter missing";
+  EXPECT_LE(retx, static_cast<std::int64_t>(4 * kRounds));
+
+  // SIGUSR1 dumps the server's flight recorder as JSON-lines; our nonces
+  // (seeded site << 32) must appear as the cross-node correlation key.
+  ASSERT_EQ(kill(server, SIGUSR1), 0);
+  std::string dump;
+  for (int i = 0; i < 100 && dump.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    dump = slurp(flight);
+  }
+  ASSERT_FALSE(dump.empty()) << "SIGUSR1 flight dump never appeared";
+
+  std::istringstream lines(dump);
+  std::string line;
+  int parsed = 0;
+  int granted = 0;
+  bool saw_first_nonce = false;
+  const std::string first_nonce =
+      std::to_string((static_cast<std::uint64_t>(kClientNode) << 32) + 1);
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++parsed;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"wall_us\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"kind\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"nonce\""), std::string::npos) << line;
+    if (line.find("\"LOCK_GRANTED\"") != std::string::npos) ++granted;
+    if (line.find("\"nonce\": " + first_nonce) != std::string::npos) {
+      saw_first_nonce = true;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(granted, 0) << "no LOCK_GRANTED events in the flight dump";
+  EXPECT_TRUE(saw_first_nonce)
+      << "client nonce " << first_nonce << " absent from the server dump";
+
+  kill(server, SIGTERM);
+  EXPECT_EQ(join(server), 0);
+}
+
+}  // namespace
+}  // namespace mocha::live

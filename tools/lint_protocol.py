@@ -284,6 +284,29 @@ def self_test(files: dict[str, str]) -> int:
             f"missing bulk-hello conformance coverage not flagged: {found}"
         )
 
+    # The telemetry scrape pair (§11): the reply enumerator sliding onto the
+    # request's value must be flagged — both ride kSyncPort, so the
+    # collision aliases on the wire immediately.
+    broken = mutate(files, WIRE_HEADER, "kStatsReply = 30", "kStatsReply = 29")
+    found = run_lint(broken)
+    if not any("value 29" in f and "kStatsReply" in f for f in found):
+        failures.append(f"stats MsgType collision not flagged: {found}")
+
+    # Dropping the kStatsReply round-trip from the conformance test must be
+    # flagged (its truncation test consumes the type byte without naming the
+    # enumerator, so the round-trip assert is the only reference).
+    broken = mutate(
+        files,
+        CONFORMANCE_TEST,
+        "reader.u8(), replica::kStatsReply",
+        "reader.u8(), replica::kStatsRequest + 1",
+    )
+    found = run_lint(broken)
+    if not any("kStatsReply" in f and "not exercised" in f for f in found):
+        failures.append(
+            f"missing stats conformance coverage not flagged: {found}"
+        )
+
     # Removing a dispatcher case must be flagged for that backend.
     broken = mutate(
         files, "src/net/mochanet.cc", "case FrameType::kNack", "case kNackGone"

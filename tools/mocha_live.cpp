@@ -84,7 +84,18 @@
 //
 // Two machines: start the server on one host, point --server-addr at it from
 // the others, give every client a distinct --site id ≥ 2.
+// Telemetry (docs/OBSERVABILITY.md): --stats-port serves the process-global
+// metrics registry as one JSON document per TCP connection (what
+// tools/mocha_top.py scrapes); --stats-json F rewrites F (tmp + rename)
+// with the same document every second; SIGUSR1 dumps the flight-recorder
+// rings as JSON-lines to --flight-json (or a default path). When
+// MOCHA_STATS_DIR is set, both documents are additionally written there at
+// exit — the CI failure-artifact hook.
 #include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -107,6 +118,7 @@
 #include "live/lock_client.h"
 #include "live/lock_server.h"
 #include "live/shard_map.h"
+#include "live/telemetry.h"
 #include "live/transport_backend.h"
 #include "replica/wire.h"
 #include "util/metrics.h"
@@ -121,6 +133,12 @@ namespace {
 std::atomic<int> g_stop{0};
 static_assert(std::atomic<int>::is_always_lock_free);
 void on_signal(int) { g_stop.store(1, std::memory_order_relaxed); }
+
+// SIGUSR1 only flips this flag (file IO is not async-signal-safe); the
+// telemetry pump thread notices on its next tick and writes the
+// flight-recorder dump.
+std::atomic<int> g_dump_flight{0};
+void on_sigusr1(int) { g_dump_flight.store(1, std::memory_order_relaxed); }
 
 // The server is site/node 1 by convention (the home site).
 constexpr mocha::net::NodeId kServerNode = 1;
@@ -141,6 +159,10 @@ struct Args {
   std::string bench_json_dir;
   std::string stats_file;
   std::string ready_file;
+  // Telemetry exposure (server and client)
+  int stats_port = -1;        // >= 0: TCP introspection endpoint (0 = ephemeral)
+  std::string stats_json;     // periodic registry dumps (tmp + rename)
+  std::string flight_json;    // SIGUSR1 flight-recorder dump target
   std::int64_t lease_grace_us = 300'000;
   bool quiet = false;
   // Sharded lock directory (server)
@@ -243,6 +265,8 @@ int usage(const char* argv0) {
                " --replica-bytes S1,S2,...\n"
                "          [--replica-barrier N] [--replica-dump-file F]"
                " [--bench-json-dir D]\n"
+               "Telemetry (server and client):\n"
+               "          [--stats-port P] [--stats-json F] [--flight-json F]\n"
                "WAN emulation / transport (server and client):\n"
                "          [--bulk-backend udp|tcp|batched-udp]\n"
                "          [--loss-pct P] [--delay-us N] [--bw-kbps B]"
@@ -391,6 +415,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.stats_file = v;
+    } else if (arg == "--stats-port") {
+      const char* v = value();
+      if (!v) return false;
+      args.stats_port = std::atoi(v);
+    } else if (arg == "--stats-json") {
+      const char* v = value();
+      if (!v) return false;
+      args.stats_json = v;
+    } else if (arg == "--flight-json") {
+      const char* v = value();
+      if (!v) return false;
+      args.flight_json = v;
     } else if (arg == "--ready-file") {
       const char* v = value();
       if (!v) return false;
@@ -425,6 +461,132 @@ std::vector<std::pair<std::string, std::uint16_t>> parse_shard_addrs(
   }
   return addrs;
 }
+
+// Atomic-rename file dumps so a concurrent reader (mocha_top.py, the CI
+// artifact collector) never sees a half-written JSON document.
+bool write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << body;
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::string registry_json() {
+  return mocha::live::render_stats_json(
+      mocha::live::MetricsRegistry::global().snapshot());
+}
+
+// Background telemetry pump: periodic --stats-json dumps, SIGUSR1-triggered
+// flight-recorder dumps, and (with --stats-port) a TCP introspection
+// endpoint that serves one registry-snapshot JSON document per connection,
+// then closes. The registry and the flight rings are process-global and
+// outlive every endpoint/server, so every dump here is safe regardless of
+// where the workload is in its lifecycle.
+class TelemetryPump {
+ public:
+  TelemetryPump(std::string stats_json, std::string flight_json,
+                int stats_port)
+      : stats_json_(std::move(stats_json)),
+        flight_json_(std::move(flight_json)) {
+    if (stats_port >= 0) open_listener(stats_port);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~TelemetryPump() { stop(); }
+
+  void stop() {
+    if (!running_.exchange(false)) return;
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Final dump: the file must reflect the workload's end state, not the
+    // last 1-second tick.
+    if (!stats_json_.empty()) write_file_atomic(stats_json_, registry_json());
+    if (g_dump_flight.exchange(0) != 0 && !flight_json_.empty()) {
+      write_file_atomic(flight_json_,
+                        mocha::live::FlightRecorder::to_json_lines(
+                          mocha::live::FlightRecorder::snapshot()));
+    }
+  }
+
+  // Bound TCP port (differs from the flag with --stats-port 0); 0 when the
+  // listener could not be created.
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void open_listener(int port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return;
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  void loop() {
+    std::int64_t next_dump_us = 0;
+    while (running_.load(std::memory_order_acquire)) {
+      if (listen_fd_ >= 0) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, 50) > 0) serve_one();
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (g_dump_flight.exchange(0) != 0 && !flight_json_.empty()) {
+        write_file_atomic(flight_json_,
+                          mocha::live::FlightRecorder::to_json_lines(
+                          mocha::live::FlightRecorder::snapshot()));
+      }
+      const std::int64_t now = mocha::live::Clock::monotonic().now_us();
+      if (!stats_json_.empty() && now >= next_dump_us) {
+        write_file_atomic(stats_json_, registry_json());
+        next_dump_us = now + 1'000'000;
+      }
+    }
+  }
+
+  void serve_one() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    const std::string body = registry_json();
+    std::size_t off = 0;
+    while (off < body.size()) {
+      const ssize_t n = ::send(fd, body.data() + off, body.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+
+  std::string stats_json_;
+  std::string flight_json_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
 
 // One hosted lock-directory shard: endpoint + reactor-driven server + home
 // replica daemon (the §4 pull-retry target for the shard's locks).
@@ -542,31 +704,13 @@ int run_server(const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   transfer_drain.join();
-  for (ShardHost& host : shards) {
-    host.daemon->stop();
-    host.server->stop();
-  }
 
-  // Pre-exit linger, multi-shard audit fix: EVERY shard's retransmit queues
-  // must drain before the process exits (a final GRANT can sit in any
-  // shard's window), all under one shared deadline so a wedged shard cannot
-  // multiply the worst-case linger by the shard count.
-  const std::int64_t flush_deadline =
-      mocha::live::Clock::monotonic().now_us() +
-      static_cast<std::int64_t>(2'000'000LL * time_scale());
-  for (ShardHost& host : shards) {
-    std::int64_t remaining =
-        flush_deadline - mocha::live::Clock::monotonic().now_us();
-    if (remaining <= 0) break;
-    // Satellite of the §10 hybrid transport: cached TCP bulk connections get
-    // a FIN + bounded linger under the SAME deadline, so unacked frames reach
-    // the peer before exit without extending the worst-case shutdown.
-    host.daemon->drain_bulk(remaining);
-    remaining = flush_deadline - mocha::live::Clock::monotonic().now_us();
-    if (remaining <= 0) break;
-    host.endpoint->flush(remaining);
-  }
-
+  // Exit-time stats: snapshot every shard's counters BEFORE teardown.
+  // stop() joins threads and the linger below can eat seconds, during which
+  // a second SIGTERM (an impatient supervisor) would kill the process with
+  // the final JSON unwritten or half-written. The snapshot is complete: the
+  // workload stopped before the signal, and the 50ms poll gap above let each
+  // reactor drain its queue.
   mocha::live::LockServer::Stats total;
   mocha::live::DaemonService::Stats daemon_total;
   std::vector<mocha::live::LockServer::Stats> per_shard;
@@ -634,6 +778,32 @@ int run_server(const Args& args) {
     out << "  ]\n"
         << "}\n";
   }
+
+  for (ShardHost& host : shards) {
+    host.daemon->stop();
+    host.server->stop();
+  }
+
+  // Pre-exit linger, multi-shard audit fix: EVERY shard's retransmit queues
+  // must drain before the process exits (a final GRANT can sit in any
+  // shard's window), all under one shared deadline so a wedged shard cannot
+  // multiply the worst-case linger by the shard count.
+  const std::int64_t flush_deadline =
+      mocha::live::Clock::monotonic().now_us() +
+      static_cast<std::int64_t>(2'000'000LL * time_scale());
+  for (ShardHost& host : shards) {
+    std::int64_t remaining =
+        flush_deadline - mocha::live::Clock::monotonic().now_us();
+    if (remaining <= 0) break;
+    // Satellite of the §10 hybrid transport: cached TCP bulk connections get
+    // a FIN + bounded linger under the SAME deadline, so unacked frames reach
+    // the peer before exit without extending the worst-case shutdown.
+    host.daemon->drain_bulk(remaining);
+    remaining = flush_deadline - mocha::live::Clock::monotonic().now_us();
+    if (remaining <= 0) break;
+    host.endpoint->flush(remaining);
+  }
+
   if (!args.quiet) {
     std::printf(
         "mocha_live server: %llu grants, %llu releases, %llu broken locks "
@@ -1185,15 +1355,49 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_sigusr1);
+
+  const char* stats_dir = std::getenv("MOCHA_STATS_DIR");
+  const std::string tag = std::string(args.server ? "server" : "client") +
+                          "." + std::to_string(::getpid());
+  std::string flight_json = args.flight_json;
+  if (flight_json.empty()) {
+    // Default SIGUSR1 target: MOCHA_STATS_DIR if set (CI artifact dir),
+    // otherwise the working directory.
+    flight_json = (stats_dir != nullptr ? std::string(stats_dir) + "/" : "") +
+                  "mocha_" + tag + ".flight.jsonl";
+  }
+  TelemetryPump pump(args.stats_json, flight_json, args.stats_port);
+  if (args.stats_port >= 0 && !args.quiet) {
+    std::printf("mocha_live %s: stats endpoint on tcp port %u\n",
+                args.server ? "server" : "client", pump.port());
+    std::fflush(stdout);
+  }
+
+  int code = 2;
   try {
-    if (args.server) return run_server(args);
-    if (args.site < 2) {
-      std::fprintf(stderr, "--client requires --site >= 2 (1 is the server)\n");
-      return 64;
+    if (args.server) {
+      code = run_server(args);
+    } else if (args.site < 2) {
+      std::fprintf(stderr,
+                   "--client requires --site >= 2 (1 is the server)\n");
+      code = 64;
+    } else {
+      code = run_client(args);
     }
-    return run_client(args);
   } catch (const std::exception& err) {
     std::fprintf(stderr, "mocha_live: %s\n", err.what());
-    return 2;
+    code = 2;
   }
+  pump.stop();
+  if (stats_dir != nullptr) {
+    // The registry and flight rings are process-global, so these exit dumps
+    // are complete even though every endpoint is already torn down.
+    const std::string base = std::string(stats_dir) + "/mocha_" + tag;
+    write_file_atomic(base + ".stats.json", registry_json());
+    write_file_atomic(base + ".flight.jsonl",
+                      mocha::live::FlightRecorder::to_json_lines(
+                          mocha::live::FlightRecorder::snapshot()));
+  }
+  return code;
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""mocha_top — one-shot cluster table over mocha_live --stats-port endpoints.
+
+Scrapes each endpoint twice (the stats port serves one registry-snapshot
+JSON document per TCP connection, docs/OBSERVABILITY.md), then renders one
+row per lock-directory shard with the rates computed from the two samples:
+
+    endpoint          shard  grants/s  p99_wait_us  retx/s  bulk_fb%
+
+  grants/s      delta of shard.<id>.grants over the sample interval
+  p99_wait_us   p99 of the shard.<id>.wait_us log2 histogram (2nd sample)
+  retx/s        delta of every ep.<node>.peer.*.retransmits on the process
+  bulk_fb%      daemon bulk fallbacks as a share of transfers served
+
+Processes without shards (clients scraped via their own --stats-port) get a
+single row with shard "-" carrying the endpoint-wide retransmit rate.
+
+Usage:
+    tools/mocha_top.py [--interval SEC] [--json] HOST:PORT [HOST:PORT ...]
+
+Exit status: 0 when every endpoint answered both samples, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import socket
+import sys
+import time
+
+SHARD_RE = re.compile(r"^shard\.(\d+)\.(\w+)$")
+RETX_RE = re.compile(r"^ep\.\d+\.peer\.\d+\.retransmits$")
+DAEMON_RE = re.compile(r"^daemon\.\d+\.(transfers_served|bulk_fallbacks)$")
+
+
+def scrape(host, port, timeout=5.0):
+    """One registry snapshot from a --stats-port endpoint, parsed."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return json.loads(b"".join(chunks))
+
+
+def hist_percentile(hist, p):
+    """Percentile from the trimmed log2 bucket list: bucket 0 holds value 0,
+    bucket i >= 1 holds [2^(i-1), 2^i - 1]; report the bucket's upper edge
+    (mirrors live::Histogram::Snapshot::percentile)."""
+    count = hist.get("count", 0)
+    if count <= 0:
+        return 0
+    rank = p * count
+    seen = 0
+    buckets = hist.get("buckets", [])
+    for i, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            return 0 if i == 0 else (1 << i) - 1
+    return 0 if not buckets else (1 << (len(buckets) - 1)) - 1
+
+
+def sum_matching(metrics, regex):
+    return sum(v for k, v in metrics.items() if regex.match(k))
+
+
+def endpoint_rows(name, first, second, interval_s):
+    """Rows for one process: one per shard, or a shard-less row."""
+    m1, m2 = first["metrics"], second["metrics"]
+    hists = second.get("histograms", {})
+    retx_rate = (sum_matching(m2, RETX_RE) - sum_matching(m1, RETX_RE)) / interval_s
+
+    served = sum(v for k, v in m2.items()
+                 if DAEMON_RE.match(k) and k.endswith("transfers_served"))
+    fallbacks = sum(v for k, v in m2.items()
+                    if DAEMON_RE.match(k) and k.endswith("bulk_fallbacks"))
+    fb_pct = 100.0 * fallbacks / served if served > 0 else 0.0
+
+    shard_ids = sorted({int(match.group(1)) for key in m2
+                        if (match := SHARD_RE.match(key))})
+    if not shard_ids:
+        return [{"endpoint": name, "shard": "-", "grants_per_s": 0.0,
+                 "p99_wait_us": 0, "retx_per_s": retx_rate,
+                 "bulk_fallback_pct": fb_pct}]
+    rows = []
+    for shard in shard_ids:
+        grants_key = f"shard.{shard}.grants"
+        rate = (m2.get(grants_key, 0) - m1.get(grants_key, 0)) / interval_s
+        wait = hists.get(f"shard.{shard}.wait_us", {})
+        rows.append({
+            "endpoint": name,
+            "shard": shard,
+            "grants_per_s": rate,
+            "p99_wait_us": hist_percentile(wait, 0.99),
+            # Process-wide rates repeated per shard row: endpoints and the
+            # bulk backend are per-process, not per-shard.
+            "retx_per_s": retx_rate,
+            "bulk_fallback_pct": fb_pct,
+        })
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="one-shot cluster table over mocha_live stats endpoints")
+    parser.add_argument("endpoints", nargs="+", metavar="HOST:PORT")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between the two samples (default 1.0)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the rows as a JSON array instead of a table")
+    args = parser.parse_args()
+
+    targets = []
+    for spec in args.endpoints:
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"mocha_top: bad endpoint {spec!r} (want HOST:PORT)",
+                  file=sys.stderr)
+            return 1
+        targets.append((spec, host, int(port)))
+
+    failed = False
+    firsts = {}
+    for spec, host, port in targets:
+        try:
+            firsts[spec] = scrape(host, port)
+        except (OSError, ValueError) as err:
+            print(f"mocha_top: {spec}: {err}", file=sys.stderr)
+            failed = True
+    time.sleep(args.interval)
+    rows = []
+    for spec, host, port in targets:
+        if spec not in firsts:
+            continue
+        try:
+            second = scrape(host, port)
+        except (OSError, ValueError) as err:
+            print(f"mocha_top: {spec}: {err}", file=sys.stderr)
+            failed = True
+            continue
+        rows.extend(endpoint_rows(spec, firsts[spec], second, args.interval))
+
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        header = f"{'endpoint':<22} {'shard':>5} {'grants/s':>9} " \
+                 f"{'p99_wait_us':>12} {'retx/s':>8} {'bulk_fb%':>9}"
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(f"{row['endpoint']:<22} {str(row['shard']):>5} "
+                  f"{row['grants_per_s']:>9.1f} {row['p99_wait_us']:>12} "
+                  f"{row['retx_per_s']:>8.1f} {row['bulk_fallback_pct']:>9.1f}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,12 @@ BIN=$1
 OUT=$2
 mkdir -p "$OUT"
 
+# Every mocha_live process leaves its final registry snapshot and flight-
+# recorder dump (docs/OBSERVABILITY.md) next to the BENCH_*.json it
+# produced, so a bench regression comes with the telemetry to explain it.
+MOCHA_STATS_DIR="$(cd "$OUT" && pwd)"
+export MOCHA_STATS_DIR
+
 WAN_FLAGS=(--loss-pct 2 --delay-us 20000)
 
 wait_ready() { # <ready-file> -> echoes the server's first (bootstrap) port
