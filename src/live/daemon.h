@@ -44,6 +44,7 @@
 #include "live/endpoint.h"
 #include "live/transport_backend.h"
 #include "replica/wire.h"
+#include "util/analysis_annotations.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -97,13 +98,15 @@ class DaemonService {
   // applied, or a local publish); kTimeout after `timeout_us`.
   util::Status wait_for_version(replica::LockId lock_id,
                                 replica::Version target,
-                                std::int64_t timeout_us) EXCLUDES(mu_);
+                                std::int64_t timeout_us) MOCHA_BLOCKING
+      EXCLUDES(mu_);
   // Weakened-consistency wait (§4): succeeds when *any* bundle has been
   // applied to `lock_id` since the caller sampled transfers_applied() —
   // used by the home-daemon retry, where an older version is acceptable.
   util::Status wait_for_apply(replica::LockId lock_id,
                               std::uint64_t applied_before,
-                              std::int64_t timeout_us) EXCLUDES(mu_);
+                              std::int64_t timeout_us) MOCHA_BLOCKING
+      EXCLUDES(mu_);
   std::uint64_t transfers_applied(replica::LockId lock_id) const
       EXCLUDES(mu_);
 
@@ -119,7 +122,7 @@ class DaemonService {
   std::uint8_t peer_bulk_caps(net::NodeId peer) const EXCLUDES(mu_);
   // Flushes and FIN+linger-closes the fast backend's cached connections
   // (no-op true on pure UDP) — run under mocha_live's shared exit deadline.
-  bool drain_bulk(std::int64_t timeout_us);
+  bool drain_bulk(std::int64_t timeout_us) MOCHA_BLOCKING;
   // Fast-backend transport counters (all zero on pure UDP).
   TransportBackend::Stats bulk_transport_stats() const;
 

@@ -66,12 +66,14 @@ Endpoint::Endpoint(net::NodeId node, std::uint16_t udp_port,
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(udp_port);
+  // MOCHA_RAW_WIRE_OK: sockaddr casts are kernel ABI, not wire payload.
   if (::bind(sock_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const int err = errno;
     ::close(sock_);
     throw std::system_error(err, std::generic_category(), "bind");
   }
   socklen_t len = sizeof(addr);
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   if (::getsockname(sock_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     const int err = errno;
     ::close(sock_);
@@ -153,6 +155,7 @@ void Endpoint::add_peer(net::NodeId peer, const std::string& host,
       throw std::invalid_argument("live::Endpoint: cannot resolve '" + host +
                                   "': " + gai_strerror(rc));
     }
+    // MOCHA_RAW_WIRE_OK: getaddrinfo result is libc-owned, not wire bytes.
     addr.sin_addr =
         reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
     ::freeaddrinfo(result);
@@ -382,6 +385,7 @@ void Endpoint::flush_tx() {
   }
 #else
   for (const TxItem& item : batch) {
+    // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
     (void)::sendto(sock_, item.datagram.data(), item.datagram.size(), 0,
                    reinterpret_cast<const sockaddr*>(&item.addr),
                    sizeof(item.addr));
@@ -452,6 +456,7 @@ void Endpoint::io_loop() {
       while (true) {
         sockaddr_in from{};
         socklen_t from_len = sizeof(from);
+        // MOCHA_RAW_WIRE_OK: sockaddr out-param is kernel ABI, not payload.
         const ssize_t n =
             ::recvfrom(sock_, buf.data(), buf.size(), 0,
                        reinterpret_cast<sockaddr*>(&from), &from_len);

@@ -63,6 +63,7 @@
 #include "live/telemetry.h"
 #include "net/frame.h"
 #include "net/types.h"
+#include "util/analysis_annotations.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -165,23 +166,24 @@ class Endpoint {
   // Reliable, sequenced send. Returns after fragmentation + first
   // transmission; delivery is guaranteed by background retransmission while
   // the peer lives. Throws std::logic_error when `dst` was never registered
-  // or learned.
+  // or learned. Never waits (send_sync with timeout 0 returns before the
+  // ack wait), so reactor handlers may call it.
   void send(net::NodeId dst, net::Port port, util::Buffer payload)
-      EXCLUDES(mu_);
+      MOCHA_REACTOR_SAFE EXCLUDES(mu_);
 
   // Like send(), but waits for the peer's transport ACK; kTimeout when the
   // message is still unacknowledged after `timeout_us` (the live failure-
   // detection primitive, mirroring the sim endpoint).
   util::Status send_sync(net::NodeId dst, net::Port port,
                          util::Buffer payload, std::int64_t timeout_us)
-      EXCLUDES(mu_);
+      MOCHA_BLOCKING EXCLUDES(mu_);
 
   // Blocks until every reliably-sent message has been acked or has exhausted
   // its retries — the pre-exit linger: a process that fire-and-forgets its
   // last message (e.g. a lock RELEASE) must not destroy the endpoint while
   // the retransmit timer still owns delivery. True when the send window
   // drained within `timeout_us`.
-  bool flush(std::int64_t timeout_us) EXCLUDES(mu_);
+  bool flush(std::int64_t timeout_us) MOCHA_BLOCKING EXCLUDES(mu_);
 
   // Reactor integration: registers an eventfd that is signalled (counting
   // write of 1) whenever a message is delivered to `port`. A reactor watches
@@ -191,10 +193,11 @@ class Endpoint {
   void set_ready_fd(net::Port port, int fd) EXCLUDES(mu_);
 
   // Blocking receive of the next message addressed to `port`.
-  Message recv(net::Port port) EXCLUDES(mu_);
-  // Timed receive; 0 polls without blocking.
+  Message recv(net::Port port) MOCHA_BLOCKING EXCLUDES(mu_);
+  // Timed receive; 0 polls without blocking (reactor handlers drain queues
+  // with recv_for(port, 0) — the analyzer special-cases the literal 0).
   std::optional<Message> recv_for(net::Port port, std::int64_t timeout_us)
-      EXCLUDES(mu_);
+      MOCHA_BLOCKING EXCLUDES(mu_);
 
   // Worst-case duration of this endpoint's own full backed-off retransmit
   // schedule (initial send + max_retries resends) — the horizon after which

@@ -35,6 +35,7 @@
 #include "live/endpoint.h"
 #include "live/shard_map.h"
 #include "replica/wire.h"
+#include "util/analysis_annotations.h"
 
 namespace mocha::live {
 
@@ -72,7 +73,7 @@ class LockClient {
   // Registration handshake: asks the bootstrap server for the deployment's
   // shard map (kShardMapRequest), registers every advertised shard endpoint
   // as a peer, and installs the map. kTimeout when no reply arrived.
-  util::Status fetch_shard_map(std::int64_t timeout_us);
+  util::Status fetch_shard_map(std::int64_t timeout_us) MOCHA_BLOCKING;
 
   // Registers this site as a holder of `lock_id` with the owning shard
   // (fire-and-forget; acquire() also registers implicitly).
@@ -88,11 +89,11 @@ class LockClient {
   util::Status acquire(
       replica::LockId lock_id,
       replica::LockWireMode mode = replica::LockWireMode::kExclusive,
-      std::int64_t expected_hold_us = 0);
+      std::int64_t expected_hold_us = 0) MOCHA_BLOCKING;
 
   // Releases a held lock; exclusive releases publish version + 1 (stamped
   // into the attached daemon first, so later pulls see it).
-  util::Status release(replica::LockId lock_id);
+  util::Status release(replica::LockId lock_id) MOCHA_BLOCKING;
 
   bool held(replica::LockId lock_id) const;
   replica::Version version(replica::LockId lock_id) const;

@@ -53,6 +53,8 @@ void LockServer::start() {
     throw std::system_error(errno, std::generic_category(),
                             "LockServer eventfd");
   }
+  // MOCHA_REACTOR_SAFE: pre-run configuration — the reactor loop only
+  // starts on serve_thread_ below, so this watch_fd is single-threaded.
   reactor_.watch_fd(ready_fd_, EPOLLIN, [this](std::uint32_t) {
     std::uint64_t count = 0;
     while (::read(ready_fd_, &count, sizeof(count)) > 0) {

@@ -47,6 +47,7 @@
 #include "live/reactor.h"
 #include "live/shard_map.h"
 #include "replica/wire.h"
+#include "util/analysis_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -63,7 +64,10 @@ struct LockServerOptions {
   ReactorOptions reactor;
 };
 
-class LockServer {
+// MOCHA_REACTOR_SAFE (class-level): reactor callbacks may capture `this`
+// because teardown is ordered — ~LockServer calls stop(), which stops the
+// reactor and joins the loop thread before any member is destroyed.
+class MOCHA_REACTOR_SAFE LockServer {
  public:
   struct Stats {
     std::uint32_t shard_id = 0;
@@ -131,29 +135,33 @@ class LockServer {
     }
   };
 
-  // All handlers below run on the reactor thread.
-  void drain_sync_port() EXCLUDES(mu_);
-  void handle(Endpoint::Message msg) EXCLUDES(mu_);
-  void handle_acquire(util::WireReader& reader) EXCLUDES(mu_);
-  void handle_release(util::WireReader& reader) EXCLUDES(mu_);
-  void handle_shard_map_request(net::NodeId src, util::WireReader& reader)
+  // All handlers below run on the reactor thread (analyzer-enforced).
+  void drain_sync_port() MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  void handle(Endpoint::Message msg) MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  void handle_acquire(util::WireReader& reader) MOCHA_REACTOR_ONLY
       EXCLUDES(mu_);
+  void handle_release(util::WireReader& reader) MOCHA_REACTOR_ONLY
+      EXCLUDES(mu_);
+  void handle_shard_map_request(net::NodeId src, util::WireReader& reader)
+      MOCHA_REACTOR_ONLY EXCLUDES(mu_);
   // §11 introspection: answers with the whole process's registry snapshot.
-  void handle_stats_request(net::NodeId src, util::WireReader& reader);
-  void grant_from_queue(LockState& lock) EXCLUDES(mu_);
-  void activate(LockState& lock, Request req) EXCLUDES(mu_);
+  void handle_stats_request(net::NodeId src, util::WireReader& reader)
+      MOCHA_REACTOR_ONLY;
+  void grant_from_queue(LockState& lock) MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  void activate(LockState& lock, Request req) MOCHA_REACTOR_ONLY
+      EXCLUDES(mu_);
   void send_grant(const Request& req, replica::Version version,
                   replica::GrantFlag flag,
                   const std::set<std::uint32_t>& holders,
-                  std::uint32_t transfer_from = 0);
+                  std::uint32_t transfer_from = 0) MOCHA_REACTOR_ONLY;
   // §4 lease breaker, fired by the request's reactor timer. The (site,
   // nonce) pair guards against ABA: a timer racing a release + re-acquire of
   // the same site must not break the new hold.
   void on_lease_expired(replica::LockId lock_id, std::uint32_t site,
-                        std::uint64_t nonce) EXCLUDES(mu_);
-  void blacklist_site(std::uint32_t site) EXCLUDES(mu_);
+                        std::uint64_t nonce) MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  void blacklist_site(std::uint32_t site) MOCHA_REACTOR_ONLY EXCLUDES(mu_);
   // Publishes the queue/lease gauges into stats_ (call with counts current).
-  void publish_gauges() EXCLUDES(mu_);
+  void publish_gauges() MOCHA_REACTOR_ONLY EXCLUDES(mu_);
 
   Endpoint& endpoint_;
   LockServerOptions opts_;

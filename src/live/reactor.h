@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "live/clock.h"
+#include "util/analysis_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -73,25 +74,26 @@ class Reactor {
 
   // Registers (or re-registers, replacing the handler) `fd` for the given
   // EPOLL* event mask. Loop thread only once running.
-  void watch_fd(int fd, std::uint32_t events, FdHandler handler);
-  void unwatch_fd(int fd);
+  void watch_fd(int fd, std::uint32_t events, FdHandler handler)
+      MOCHA_REACTOR_ONLY;
+  void unwatch_fd(int fd) MOCHA_REACTOR_ONLY;
 
   // One-shot timers against Clock::now_us(). Loop thread only once running.
-  TimerId call_after(std::int64_t delay_us, Callback cb);
-  TimerId call_at(std::int64_t deadline_us, Callback cb);
+  TimerId call_after(std::int64_t delay_us, Callback cb) MOCHA_REACTOR_ONLY;
+  TimerId call_at(std::int64_t deadline_us, Callback cb) MOCHA_REACTOR_ONLY;
   // True if the timer was still pending (it will not fire). Safe to call
   // with an id that already fired or was cancelled.
-  bool cancel(TimerId id);
+  bool cancel(TimerId id) MOCHA_REACTOR_ONLY;
   std::size_t pending_timers() const { return timers_.size(); }
 
   // Enqueues `cb` to run on the loop thread. Thread-safe; the only Reactor
   // entry point other threads may use besides stop().
-  void post(Callback cb) EXCLUDES(post_mu_);
+  void post(Callback cb) MOCHA_REACTOR_SAFE EXCLUDES(post_mu_);
 
   // Runs the event loop on the calling thread until stop(). A stopped
   // reactor stays stopped (create a fresh one to loop again).
   void run();
-  void stop();
+  void stop() MOCHA_REACTOR_SAFE;
   bool looping() const { return looping_.load(std::memory_order_acquire); }
 
   Stats stats() const;

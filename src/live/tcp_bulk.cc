@@ -25,22 +25,6 @@ constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 2 + 4;
 constexpr std::int64_t kReactorGraceUs = 1'000'000;
 constexpr std::int64_t kDrainTickUs = 5'000;
 
-void put_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
 }  // namespace
 
 TcpBulkBackend::TcpBulkBackend(Endpoint& endpoint, TcpBulkOptions opts)
@@ -57,6 +41,7 @@ TcpBulkBackend::TcpBulkBackend(Endpoint& endpoint, TcpBulkOptions opts)
   bind_addr.sin_family = AF_INET;
   bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
   bind_addr.sin_port = 0;
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&bind_addr),
              sizeof(bind_addr)) != 0 ||
       ::listen(listen_fd_, opts_.listen_backlog) != 0) {
@@ -66,6 +51,7 @@ TcpBulkBackend::TcpBulkBackend(Endpoint& endpoint, TcpBulkOptions opts)
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
                     &bound_len) == 0) {
     tcp_port_ = ntohs(bound.sin_port);
@@ -147,13 +133,14 @@ void TcpBulkBackend::complete(const std::shared_ptr<Pending>& pending,
 util::Status TcpBulkBackend::send_bundle(net::NodeId dst, net::Port port,
                                          util::Buffer payload,
                                          std::int64_t timeout_us) {
-  util::Buffer frame(kFrameHeaderBytes + payload.size());
-  put_u32(frame.data(), kTcpBulkMagic);
-  put_u32(frame.data() + 4, endpoint_.node());
-  put_u16(frame.data() + 8, port);
-  put_u32(frame.data() + 10, static_cast<std::uint32_t>(payload.size()));
-  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
-              payload.size());
+  util::Buffer frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  util::WireWriter header(frame);
+  header.u32(kTcpBulkMagic);
+  header.u32(endpoint_.node());
+  header.u16(port);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.raw(payload);
 
   auto pending = std::make_shared<Pending>();
   reactor_.post([this, dst, frame = std::move(frame), pending,
@@ -294,6 +281,8 @@ TcpBulkBackend::Conn* TcpBulkBackend::ensure_conn(net::NodeId dst,
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
   conn->peer = dst;
+  // MOCHA_REACTOR_SAFE: SOCK_NONBLOCK fd — connect returns EINPROGRESS.
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   const int rc =
       ::connect(fd, reinterpret_cast<const sockaddr*>(&to), sizeof(to));
   if (rc == 0) {
@@ -600,13 +589,19 @@ void TcpBulkBackend::inbound_event(int fd, std::uint32_t events) {
   }
   std::size_t consumed = 0;
   while (in.buf.size() - consumed >= kFrameHeaderBytes) {
-    const std::uint8_t* head = in.buf.data() + consumed;
-    if (get_u32(head) != kTcpBulkMagic) {
+    // Bounds-checked header decode; the size guard above ensures the
+    // fixed header reads cannot throw.
+    util::WireReader head(
+        std::span<const std::uint8_t>(in.buf).subspan(consumed));
+    const std::uint32_t magic = head.u32();
+    const net::NodeId src = head.u32();
+    const net::Port port = head.u16();
+    const std::size_t len = head.u32();
+    if (magic != kTcpBulkMagic) {
       MOCHA_WARN(kLogComponent) << "bad frame magic on inbound bulk stream";
       close_inbound();
       return;
     }
-    const std::size_t len = get_u32(head + 10);
     if (len > opts_.max_frame_bytes) {
       MOCHA_WARN(kLogComponent)
           << "oversized inbound bulk frame (" << len << " bytes)";
@@ -615,10 +610,10 @@ void TcpBulkBackend::inbound_event(int fd, std::uint32_t events) {
     }
     if (in.buf.size() - consumed < kFrameHeaderBytes + len) break;
     Bundle bundle;
-    bundle.src = get_u32(head + 4);
-    bundle.port = get_u16(head + 8);
-    bundle.payload.assign(head + kFrameHeaderBytes,
-                          head + kFrameHeaderBytes + len);
+    bundle.src = src;
+    bundle.port = port;
+    const std::span<const std::uint8_t> body = head.raw(len);
+    bundle.payload.assign(body.begin(), body.end());
     consumed += kFrameHeaderBytes + len;
     util::MutexLock lock(mu_);
     PortQueue& queue = port_queue(bundle.port);

@@ -43,6 +43,7 @@
 #include "live/reactor.h"
 #include "live/transport_backend.h"
 #include "net/types.h"
+#include "util/analysis_annotations.h"
 #include "util/buffer.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -61,7 +62,10 @@ struct TcpBulkOptions {
   int send_buffer_bytes = 0;
 };
 
-class TcpBulkBackend final : public TransportBackend {
+// MOCHA_REACTOR_SAFE (class-level): reactor callbacks may capture `this`
+// because teardown is ordered — the destructor posts a cleanup callback,
+// then stops the reactor and joins the loop thread before members die.
+class MOCHA_REACTOR_SAFE TcpBulkBackend final : public TransportBackend {
  public:
   // Binds the bulk listener (port 0 = ephemeral, see contact_port()) and
   // starts the reactor loop thread. Throws std::system_error when the
@@ -79,17 +83,17 @@ class TcpBulkBackend final : public TransportBackend {
   std::uint16_t peer_contact(net::NodeId peer) const override EXCLUDES(mu_);
 
   util::Status send_bundle(net::NodeId dst, net::Port port,
-                           util::Buffer payload,
-                           std::int64_t timeout_us) override EXCLUDES(mu_);
+                           util::Buffer payload, std::int64_t timeout_us)
+      override MOCHA_BLOCKING EXCLUDES(mu_);
   std::optional<Bundle> recv_bundle(net::Port port,
                                     std::int64_t timeout_us) override
-      EXCLUDES(mu_);
+      MOCHA_BLOCKING EXCLUDES(mu_);
 
   // Flushes every queued frame, then closes cached connections cleanly:
   // shutdown(SHUT_WR) so the peer sees FIN, SO_LINGER so close() does not
   // discard the tail — the §10 pre-exit drain mocha_live runs under its
   // shared flush deadline. New sends after drain() fail kUnavailable.
-  bool drain(std::int64_t timeout_us) override EXCLUDES(mu_);
+  bool drain(std::int64_t timeout_us) override MOCHA_BLOCKING EXCLUDES(mu_);
 
   Stats stats() const override EXCLUDES(mu_);
 
@@ -134,23 +138,28 @@ class TcpBulkBackend final : public TransportBackend {
   static void complete(const std::shared_ptr<Pending>& pending,
                        util::Status status);
 
-  // All private methods below run on the reactor loop thread only.
+  // All private methods below run on the reactor loop thread only
+  // (analyzer-enforced via MOCHA_REACTOR_ONLY).
   void start_send(net::NodeId dst, util::Buffer frame,
                   std::shared_ptr<Pending> pending, std::int64_t timeout_us)
+      MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  Conn* ensure_conn(net::NodeId dst, util::Status* error) MOCHA_REACTOR_ONLY
       EXCLUDES(mu_);
-  Conn* ensure_conn(net::NodeId dst, util::Status* error) EXCLUDES(mu_);
-  void conn_event(net::NodeId dst, std::uint32_t events);
-  void flush_conn(Conn& conn);
-  void update_conn_watch(Conn& conn);
-  void frame_deadline(net::NodeId dst, const std::shared_ptr<Pending>& pending);
+  void conn_event(net::NodeId dst, std::uint32_t events) MOCHA_REACTOR_ONLY;
+  void flush_conn(Conn& conn) MOCHA_REACTOR_ONLY;
+  void update_conn_watch(Conn& conn) MOCHA_REACTOR_ONLY;
+  void frame_deadline(net::NodeId dst,
+                      const std::shared_ptr<Pending>& pending)
+      MOCHA_REACTOR_ONLY;
   void fail_conn(net::NodeId dst, util::StatusCode code,
-                 const std::string& why) EXCLUDES(mu_);
-  void evict_idle_over_cap();
-  void close_conn_graceful(Conn& conn);
-  void accept_ready();
-  void inbound_event(int fd, std::uint32_t events) EXCLUDES(mu_);
+                 const std::string& why) MOCHA_REACTOR_ONLY EXCLUDES(mu_);
+  void evict_idle_over_cap() MOCHA_REACTOR_ONLY;
+  void close_conn_graceful(Conn& conn) MOCHA_REACTOR_ONLY;
+  void accept_ready() MOCHA_REACTOR_ONLY;
+  void inbound_event(int fd, std::uint32_t events) MOCHA_REACTOR_ONLY
+      EXCLUDES(mu_);
   void drain_tick(std::shared_ptr<Pending> done_signal,
-                  std::int64_t deadline_us);
+                  std::int64_t deadline_us) MOCHA_REACTOR_ONLY;
   PortQueue& port_queue(net::Port port) REQUIRES(mu_);
 
   Endpoint& endpoint_;

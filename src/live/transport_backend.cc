@@ -52,20 +52,6 @@ void put_u32(std::uint8_t* p, std::uint32_t v) {
 void put_u64(std::uint8_t* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
 double env_loss_pct() {
   const char* v = std::getenv("MOCHA_NETEM_LOSS_PCT");
   if (v == nullptr || *v == '\0') return 0.0;
@@ -195,6 +181,7 @@ BatchedUdpBackend::BatchedUdpBackend(Endpoint& endpoint, BatchedUdpOptions opts)
   bind_addr.sin_family = AF_INET;
   bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
   bind_addr.sin_port = 0;
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   if (::bind(sock_, reinterpret_cast<const sockaddr*>(&bind_addr),
              sizeof(bind_addr)) != 0) {
     const int err = errno;
@@ -203,6 +190,7 @@ BatchedUdpBackend::BatchedUdpBackend(Endpoint& endpoint, BatchedUdpOptions opts)
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   if (::getsockname(sock_, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
       0) {
     budp_port_ = ntohs(bound.sin_port);
@@ -482,17 +470,17 @@ void BatchedUdpBackend::rx_loop() {
 
 void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
                                         std::size_t len,
-                                        const sockaddr_in& from) {
-  if (len < kBudpBaseHeader || get_u32(data) != kBudpMagic) return;
-  const std::uint8_t type = data[4];
-  const net::NodeId src = get_u32(data + 5);
-  const std::uint64_t xfer = get_u64(data + 9);
+                                        const sockaddr_in& from) try {
+  util::WireReader reader(std::span<const std::uint8_t>(data, len));
+  if (reader.u32() != kBudpMagic) return;
+  const std::uint8_t type = reader.u8();
+  const net::NodeId src = reader.u32();
+  const std::uint64_t xfer = reader.u64();
   switch (type) {
     case kBudpData: {
-      if (len < kBudpDataHeader) return;
-      const net::Port port = get_u16(data + 17);
-      const std::uint32_t idx = get_u32(data + 19);
-      const std::uint32_t count = get_u32(data + 23);
+      const net::Port port = reader.u16();
+      const std::uint32_t idx = reader.u32();
+      const std::uint32_t count = reader.u32();
       if (count == 0 || idx >= count) return;
       if (done_ids_.count(xfer) != 0) {
         // Fully delivered already; the sender just missed our DONE.
@@ -514,7 +502,9 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
       if (!re.present[idx]) {
         re.present[idx] = true;
         ++re.have;
-        re.chunks[idx].assign(data + kBudpDataHeader, data + len);
+        const std::span<const std::uint8_t> chunk =
+            reader.raw(reader.remaining());
+        re.chunks[idx].assign(chunk.begin(), chunk.end());
       }
       if (re.have < re.frag_count) return;
       Bundle bundle;
@@ -554,8 +544,7 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
       return;
     }
     case kBudpProbe: {
-      if (len < kBudpBaseHeader + 4) return;
-      const std::uint32_t count = get_u32(data + 17);
+      const std::uint32_t count = reader.u32();
       if (done_ids_.count(xfer) != 0) {
         send_control(kBudpDone, xfer, 0, {}, from);
         return;
@@ -580,12 +569,11 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
       return;
     }
     case kBudpNack: {
-      if (len < kBudpBaseHeader + 4) return;
-      const std::uint32_t n = get_u32(data + 17);
-      if (n == 0 || len < kBudpBaseHeader + 4 + 4ull * n) return;
+      const std::uint32_t n = reader.u32();
+      if (n == 0 || reader.remaining() < 4ull * n) return;
       std::vector<std::uint32_t> missing(n);
       for (std::uint32_t i = 0; i < n; ++i) {
-        missing[i] = get_u32(data + kBudpBaseHeader + 4 + 4ull * i);
+        missing[i] = reader.u32();
       }
       util::MutexLock lock(mu_);
       const auto it = waiters_.find(xfer);
@@ -609,6 +597,9 @@ void BatchedUdpBackend::handle_datagram(const std::uint8_t* data,
     default:
       return;
   }
+} catch (const util::CodecError&) {
+  // Truncated or malformed datagram: the reader ran off the end mid-field.
+  // Dropping it mirrors the old explicit length checks.
 }
 
 void BatchedUdpBackend::send_control(std::uint8_t type, std::uint64_t xfer,
@@ -632,6 +623,7 @@ void BatchedUdpBackend::send_control(std::uint8_t type, std::uint64_t xfer,
       len += 4;
     }
   }
+  // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
   (void)::sendto(sock_, out.data(), len, 0,
                  reinterpret_cast<const sockaddr*>(&to), sizeof(to));
 }

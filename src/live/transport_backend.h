@@ -44,6 +44,7 @@
 
 #include "live/endpoint.h"
 #include "net/types.h"
+#include "util/analysis_annotations.h"
 #include "util/buffer.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -95,20 +96,21 @@ class TransportBackend {
 
   // Delivers one replica bundle (already framed by the daemon:
   // `u32 lock | u64 version | bundle`) to (dst, port). See the file comment
-  // for the per-backend blocking/typing contract.
+  // for the per-backend blocking/typing contract. May block up to
+  // `timeout_us`; never call from reactor context.
   virtual util::Status send_bundle(net::NodeId dst, net::Port port,
                                    util::Buffer payload,
-                                   std::int64_t timeout_us) = 0;
+                                   std::int64_t timeout_us) MOCHA_BLOCKING = 0;
 
   // Next inbound bundle addressed to `port`; nullopt after `timeout_us`.
   // Single consumer per port (same rule as Endpoint::recv).
-  virtual std::optional<Bundle> recv_bundle(net::Port port,
-                                            std::int64_t timeout_us) = 0;
+  virtual std::optional<Bundle> recv_bundle(
+      net::Port port, std::int64_t timeout_us) MOCHA_BLOCKING = 0;
 
   // Pre-exit drain: block until in-flight sends are flushed and any cached
   // connections are shut down cleanly (FIN + linger, see live/tcp_bulk.h).
   // True when everything drained within `timeout_us`. Idempotent.
-  virtual bool drain(std::int64_t timeout_us) = 0;
+  virtual bool drain(std::int64_t timeout_us) MOCHA_BLOCKING = 0;
 
   virtual Stats stats() const = 0;
 };
@@ -141,10 +143,11 @@ class UdpBulkBackend final : public TransportBackend {
 
   util::Status send_bundle(net::NodeId dst, net::Port port,
                            util::Buffer payload,
-                           std::int64_t timeout_us) override;
+                           std::int64_t timeout_us) override MOCHA_BLOCKING;
   std::optional<Bundle> recv_bundle(net::Port port,
-                                    std::int64_t timeout_us) override;
-  bool drain(std::int64_t timeout_us) override;
+                                    std::int64_t timeout_us) override
+      MOCHA_BLOCKING;
+  bool drain(std::int64_t timeout_us) override MOCHA_BLOCKING;
   Stats stats() const override;
 
  private:
@@ -193,12 +196,12 @@ class BatchedUdpBackend final : public TransportBackend {
   std::uint16_t peer_contact(net::NodeId peer) const override EXCLUDES(mu_);
 
   util::Status send_bundle(net::NodeId dst, net::Port port,
-                           util::Buffer payload,
-                           std::int64_t timeout_us) override EXCLUDES(mu_);
+                           util::Buffer payload, std::int64_t timeout_us)
+      override MOCHA_BLOCKING EXCLUDES(mu_);
   std::optional<Bundle> recv_bundle(net::Port port,
                                     std::int64_t timeout_us) override
-      EXCLUDES(mu_);
-  bool drain(std::int64_t timeout_us) override;
+      MOCHA_BLOCKING EXCLUDES(mu_);
+  bool drain(std::int64_t timeout_us) override MOCHA_BLOCKING;
   Stats stats() const override EXCLUDES(mu_);
 
  private:

@@ -1,0 +1,67 @@
+// Annotation vocabulary consumed by tools/analyze/mocha_analyze.py.
+//
+// These macros attach semantic contracts to declarations so the analyzer
+// can check them across the whole call graph:
+//
+//   MOCHA_REACTOR_ONLY   The function may only be invoked on the reactor
+//                        loop thread (from an fd handler, a timer, or a
+//                        post()ed callback). Calling it from any other
+//                        entry point is a finding.
+//
+//   MOCHA_REACTOR_SAFE   On a function: safe to call from any thread,
+//                        including the reactor thread — the analyzer
+//                        trusts it and does not descend into its body
+//                        when searching for blocking paths (use for
+//                        enqueue-style APIs such as Reactor::post or
+//                        Endpoint::send whose fast path never blocks).
+//                        On a class (between the class-key and the
+//                        name): the type has a documented teardown
+//                        ordering with its reactor — the destructor
+//                        stops and joins the loop thread before any
+//                        member is destroyed — so reactor callbacks may
+//                        capture `this`.
+//
+//   MOCHA_BLOCKING       The function may block the calling thread
+//                        (socket waits, condition variables, sleeps).
+//                        Any path from reactor context to a
+//                        MOCHA_BLOCKING function is a finding.
+//
+//   MOCHA_RAW_WIRE_OK    Statement-position allowlist marker for the
+//                        checked-decode rule: this raw memcpy /
+//                        reinterpret_cast / pointer arithmetic is not
+//                        parsing untrusted network bytes (kernel ABI
+//                        structs, codec internals behind a bounds
+//                        check). Expands to nothing; the reason string
+//                        is documentation.
+//
+// Under clang the function/class markers lower to
+// __attribute__((annotate("mocha::..."))) so the libclang frontend sees
+// them in the AST. Under other compilers they expand to nothing. The
+// textual fallback frontend matches the macro tokens directly, and also
+// honors them inside comments for statement-level suppressions:
+//
+//   // MOCHA_RAW_WIRE_OK: sockaddr cast is kernel ABI, not wire payload.
+//   // MOCHA_REACTOR_SAFE: reactor not running yet; pre-run configuration.
+//
+// A comment marker suppresses findings on its own line and the three
+// lines that follow it.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define MOCHA_ANALYSIS_ANNOTATION(x) __attribute__((annotate(x)))
+#endif
+#endif
+
+#ifndef MOCHA_ANALYSIS_ANNOTATION
+#define MOCHA_ANALYSIS_ANNOTATION(x)  // no-op: analyzer reads the tokens
+#endif
+
+#define MOCHA_REACTOR_ONLY MOCHA_ANALYSIS_ANNOTATION("mocha::reactor_only")
+#define MOCHA_REACTOR_SAFE MOCHA_ANALYSIS_ANNOTATION("mocha::reactor_safe")
+#define MOCHA_BLOCKING MOCHA_ANALYSIS_ANNOTATION("mocha::blocking")
+
+// Statement-position marker; expands to nothing everywhere (an attribute
+// cannot appear mid-statement). The analyzer matches the token itself.
+#define MOCHA_RAW_WIRE_OK(reason)

@@ -44,6 +44,7 @@ class WireWriter {
   void f64(double v) {
     std::uint64_t bits;
     static_assert(sizeof(bits) == sizeof(v));
+    // MOCHA_RAW_WIRE_OK: bit-cast of a local double, not wire bytes.
     std::memcpy(&bits, &v, sizeof(bits));
     u64(bits);
   }
@@ -98,8 +99,9 @@ class WireReader {
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
   double f64() {
-    std::uint64_t bits = u64();
+    std::uint64_t bits = u64();  // bounds-checked read
     double v;
+    // MOCHA_RAW_WIRE_OK: bit-cast of the already-validated u64.
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
@@ -118,6 +120,7 @@ class WireReader {
   std::string str() {
     std::uint32_t n = u32();
     need(n);
+    // MOCHA_RAW_WIRE_OK: WireReader internal; need(n) bounds-checked above.
     std::string out(reinterpret_cast<const char*>(in_.data()) + pos_, n);
     pos_ += n;
     return out;

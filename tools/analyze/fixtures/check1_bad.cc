@@ -1,0 +1,37 @@
+// Fixture: reactor thread-affinity violations. mocha-analyze must emit
+//   - >= 2 [reactor-blocking] findings (the helper path and ::usleep)
+//   - >= 1 [reactor-affinity] finding (on_ready called off-loop)
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+#include "util/analysis_annotations.h"
+
+namespace fixture {
+
+class Server {
+ public:
+  Server();
+  void on_ready() MOCHA_REACTOR_ONLY;  // fd-handler entry point
+  void helper();
+  void do_io() MOCHA_BLOCKING;
+  void from_anywhere();
+};
+
+Server::Server() {}
+
+void Server::do_io() {
+  // pretend: synchronous socket wait
+}
+
+void Server::helper() {
+  do_io();  // transitively blocking
+}
+
+void Server::on_ready() {
+  helper();      // reactor context -> helper -> do_io [MOCHA_BLOCKING]
+  ::usleep(100);  // direct known-blocking syscall on the loop thread
+}
+
+void Server::from_anywhere() {
+  on_ready();  // MOCHA_REACTOR_ONLY called from a non-reactor entry point
+}
+
+}  // namespace fixture

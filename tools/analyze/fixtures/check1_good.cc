@@ -1,0 +1,45 @@
+// Fixture: reactor thread-affinity, clean. mocha-analyze must emit zero
+// findings: MOCHA_REACTOR_SAFE terminates the blocking search, blocking
+// calls from plain (non-reactor) functions are fine, and constructors
+// may touch MOCHA_REACTOR_ONLY configuration before the loop runs.
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+#include "util/analysis_annotations.h"
+
+namespace fixture {
+
+class Server {
+ public:
+  Server();
+  void on_ready() MOCHA_REACTOR_ONLY;
+  void configure() MOCHA_REACTOR_ONLY;
+  void enqueue() MOCHA_REACTOR_SAFE;  // lock-free fast path, trusted
+  void do_io() MOCHA_BLOCKING;
+  void shutdown();
+  int queued_ = 0;
+};
+
+Server::Server() {
+  configure();  // pre-run configuration: ctor/dtor are exempt
+}
+
+void Server::configure() {
+  queued_ = 0;
+}
+
+void Server::enqueue() {
+  queued_ += 1;
+}
+
+void Server::do_io() {
+  // pretend: synchronous socket wait
+}
+
+void Server::on_ready() {
+  enqueue();  // reactor -> MOCHA_REACTOR_SAFE: trusted, not descended into
+}
+
+void Server::shutdown() {
+  do_io();  // blocking from a plain thread: allowed
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: unchecked wire decoding. mocha-analyze must emit >= 2
+// [raw-wire] findings (memcpy and reinterpret_cast on a receive buffer
+// with no MOCHA_RAW_WIRE_OK justification).
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+#include <cstring>
+
+namespace fixture {
+
+unsigned parse_header(const unsigned char* data, unsigned long len) {
+  unsigned value = 0;
+  std::memcpy(&value, data + 4, sizeof(value));  // unchecked read
+  const unsigned* words = reinterpret_cast<const unsigned*>(data);
+  (void)len;
+  return value + words[0];
+}
+
+}  // namespace fixture

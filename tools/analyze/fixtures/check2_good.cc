@@ -1,0 +1,30 @@
+// Fixture: checked wire decoding, clean. mocha-analyze must emit zero
+// findings: parsing goes through the bounds-checked reader, and the one
+// raw cast carries a MOCHA_RAW_WIRE_OK justification.
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+
+namespace fixture {
+
+struct Reader {
+  unsigned u32();
+  unsigned short u16();
+};
+
+unsigned parse_header(const unsigned char* data, unsigned long len) {
+  Reader reader;  // stands in for util::WireReader(std::span(data, len))
+  (void)data;
+  (void)len;
+  const unsigned magic = reader.u32();
+  const unsigned short port = reader.u16();
+  return magic + port;
+}
+
+int bind_socket(int fd, const void* addr, unsigned long addr_len) {
+  // MOCHA_RAW_WIRE_OK: sockaddr is kernel ABI, not untrusted wire bytes.
+  const char* raw = reinterpret_cast<const char*>(addr);
+  (void)raw;
+  (void)addr_len;
+  return fd;
+}
+
+}  // namespace fixture

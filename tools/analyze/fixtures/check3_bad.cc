@@ -1,0 +1,31 @@
+// Fixture: posted-callback capture lifetimes. mocha-analyze must emit
+// >= 2 [callback-capture] findings: a by-reference capture of a local,
+// and a `this` capture from a class with no documented teardown
+// ordering with its reactor.
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+#include "util/analysis_annotations.h"
+
+namespace fixture {
+
+class Reactor {
+ public:
+  template <typename F>
+  void post(F f);
+  template <typename F>
+  void call_after(long delay_us, F f);
+};
+
+class Widget {  // note: no MOCHA_REACTOR_SAFE teardown marker
+ public:
+  void arm() {
+    int local = 7;
+    reactor_.post([&local] { local += 1; });  // dangling once arm() returns
+    reactor_.call_after(1000, [this] { tick(); });  // use-after-free on ~Widget
+  }
+  void tick();
+
+ private:
+  Reactor reactor_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: posted-callback capture lifetimes, clean. mocha-analyze must
+// emit zero findings: shared state is captured by value (shared_ptr),
+// and `this` is captured only from a class whose MOCHA_REACTOR_SAFE
+// marker documents that its destructor stops and joins the reactor
+// before members are destroyed.
+// Never compiled; consumed by `mocha_analyze.py --self-test`.
+#include <memory>
+
+#include "util/analysis_annotations.h"
+
+namespace fixture {
+
+class Reactor {
+ public:
+  template <typename F>
+  void post(F f);
+  template <typename F>
+  void call_after(long delay_us, F f);
+};
+
+class MOCHA_REACTOR_SAFE Widget {  // dtor stops+joins the loop first
+ public:
+  void arm() {
+    auto state = std::make_shared<int>(7);
+    reactor_.post([state] { *state += 1; });
+    reactor_.call_after(1000, [this, step = 2] { tick(step); });
+  }
+  void tick(int step);
+
+ private:
+  Reactor reactor_;
+};
+
+}  // namespace fixture

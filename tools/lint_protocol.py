@@ -24,7 +24,14 @@ Parses the two wire enums straight out of the source text —
   5. every MsgType enumerator with a typed codec must be referenced under
      src/live/ (as ``kX`` or its ``XMsg`` struct) — the live backend speaks
      the same lock protocol as the sim, and a codec the live runtime never
-     touches means the two backends have drifted.
+     touches means the two backends have drifted,
+  6. the telemetry vocabulary must be live: every ``trace::EventKind``
+     enumerator is recorded (``EventKind::kX``) somewhere under src/
+     outside its own header, and every metric leaf named in the
+     docs/OBSERVABILITY.md catalog or scraped by tools/mocha_top.py
+     appears in a string literal under src/ — a cataloged metric no code
+     produces is a stale doc row, and a scraped one is a dashboard that
+     silently reads zeros.
 
 Run with ``--self-test`` to prove the lint still catches violations: it
 re-runs every check against deliberately broken in-memory copies of the
@@ -47,6 +54,13 @@ WIRE_HEADER = "src/replica/wire.h"
 CONFORMANCE_TEST = "tests/frame_conformance_test.cc"
 # Both transport backends must dispatch every frame type.
 FRAME_DISPATCHERS = ["src/net/mochanet.cc", "src/live/endpoint.cc"]
+# Rule 6 inputs: the shared event vocabulary, the human-facing metric
+# catalog, and the dashboard that scrapes the registry.
+EVENT_KIND_HEADER = "src/trace/event_kind.h"
+OBSERVABILITY_DOC = "docs/OBSERVABILITY.md"
+MOCHA_TOP = "tools/mocha_top.py"
+# Registry name prefixes that mark a string as a metric reference.
+METRIC_PREFIXES = ("ep", "shard", "client", "daemon", "bulk")
 
 
 class ParseError(Exception):
@@ -162,10 +176,104 @@ def check_msg_types(files: dict[str, str], findings: list[str]) -> None:
             )
 
 
+def metric_leaves_from_doc(doc: str) -> list[str]:
+    """Leaf names from the OBSERVABILITY.md catalog table.
+
+    A catalog row is a markdown table line whose first cell carries
+    backticked metric names and whose second cell is a known metric type.
+    ``<...>`` placeholders are wildcards; the leaf is the segment after the
+    last dot (or the whole span for the short form in two-span rows, e.g.
+    ``bytes_in``).
+    """
+    leaves: list[str] = []
+    for line in doc.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) < 3 or cells[1] not in ("counter", "gauge", "hist"):
+            continue
+        for span in re.findall(r"`([^`]+)`", cells[0]):
+            name = re.sub(r"<[^>]*>", "*", span)
+            leaf = name.rsplit(".", 1)[-1]
+            if re.fullmatch(r"\w+", leaf):
+                leaves.append(leaf)
+    return leaves
+
+
+def metric_leaves_from_top(top: str) -> list[str]:
+    """Leaf names mocha_top.py scrapes, from its string literals.
+
+    Handles all three spellings the dashboard uses: plain keys, f-string
+    templates (``{...}`` placeholders), and anchored regexes (``^``/``$``,
+    escaped dots, ``(a|b)`` alternations). A literal counts as a metric
+    reference when its first dotted segment is a registry prefix.
+    """
+    leaves: list[str] = []
+    for lit in re.findall(r'"([^"\n]+)"', top):
+        name = lit.lstrip("^").replace(r"\.", ".")
+        name = re.sub(r"\{[^}]*\}", "*", name)
+        if "." not in name or name.split(".", 1)[0] not in METRIC_PREFIXES:
+            continue
+        tail = name.rsplit(".", 1)[-1].rstrip("$").strip("()")
+        for part in tail.split("|"):
+            if re.fullmatch(r"\w+", part):
+                leaves.append(part)
+    return leaves
+
+
+def check_observability(files: dict[str, str], findings: list[str]) -> None:
+    # 6a: the event vocabulary is live — an enumerator nobody records is
+    # either dead weight or a recorder that silently fell out in a refactor
+    # (event_kind.h itself names every kind in event_kind_name(), so it is
+    # excluded from the usage scan).
+    entries = parse_enum(files[EVENT_KIND_HEADER], "EventKind")
+    src_files = {
+        path: text
+        for path, text in files.items()
+        if path.startswith("src/") and path != EVENT_KIND_HEADER
+    }
+    for name, _ in entries:
+        if not any(
+            re.search(rf"EventKind::{name}\b", text)
+            for text in src_files.values()
+        ):
+            findings.append(
+                f"EventKind::{name} is declared in {EVENT_KIND_HEADER} but "
+                f"never recorded under src/"
+            )
+
+    # 6b/6c: every metric leaf the catalog documents or the dashboard
+    # scrapes must appear in a string literal under src/ — registry names
+    # are built from string fragments, so the leaf always survives intact.
+    all_src = "\n".join(
+        text for path, text in files.items() if path.startswith("src/")
+    )
+
+    def produced(leaf: str) -> bool:
+        return (
+            re.search(r'"[^"\n]*' + re.escape(leaf) + r'[^"\n]*"', all_src)
+            is not None
+        )
+
+    for leaf in sorted(set(metric_leaves_from_doc(files[OBSERVABILITY_DOC]))):
+        if not produced(leaf):
+            findings.append(
+                f"metric `{leaf}` is cataloged in {OBSERVABILITY_DOC} but no "
+                f"string literal under src/ produces it (stale catalog row)"
+            )
+    for leaf in sorted(set(metric_leaves_from_top(files[MOCHA_TOP]))):
+        if not produced(leaf):
+            findings.append(
+                f"{MOCHA_TOP} scrapes metric `{leaf}` but no string literal "
+                f"under src/ produces it (the dashboard would read zeros)"
+            )
+
+
 def run_lint(files: dict[str, str]) -> list[str]:
     findings: list[str] = []
     check_frame_types(files, findings)
     check_msg_types(files, findings)
+    check_observability(files, findings)
     return findings
 
 
@@ -174,11 +282,12 @@ def load_files() -> dict[str, str]:
     for pattern in ("src/**/*.h", "src/**/*.cc"):
         for path in sorted(REPO_ROOT.glob(pattern)):
             files[path.relative_to(REPO_ROOT).as_posix()] = path.read_text()
-    test_path = REPO_ROOT / CONFORMANCE_TEST
-    files[CONFORMANCE_TEST] = test_path.read_text()
-    for required in [FRAME_HEADER, WIRE_HEADER] + FRAME_DISPATCHERS:
-        if required not in files:
-            raise ParseError(f"required file missing: {required}")
+    for extra in (CONFORMANCE_TEST, OBSERVABILITY_DOC, MOCHA_TOP):
+        files[extra] = (REPO_ROOT / extra).read_text()
+    required = [FRAME_HEADER, WIRE_HEADER, EVENT_KIND_HEADER]
+    for path in required + FRAME_DISPATCHERS:
+        if path not in files:
+            raise ParseError(f"required file missing: {path}")
     return files
 
 
@@ -306,6 +415,37 @@ def self_test(files: dict[str, str]) -> int:
         failures.append(
             f"missing stats conformance coverage not flagged: {found}"
         )
+
+    # Rule 6a: an event kind nobody records must be flagged (the header's
+    # own event_kind_name() switch does not count as a recorder).
+    broken = mutate(
+        files, EVENT_KIND_HEADER, "kDatagramSent,", "kDatagramSent,\n  kGhostEvent,"
+    )
+    found = run_lint(broken)
+    if not any("kGhostEvent" in f and "never recorded" in f for f in found):
+        failures.append(f"unrecorded EventKind not flagged: {found}")
+
+    # Rule 6b: a catalog row naming a metric no code produces must be
+    # flagged (the phantom row reuses the shard prefix so only the leaf is
+    # novel — exactly what a renamed-but-not-redocumented metric leaves).
+    broken = mutate(
+        files,
+        OBSERVABILITY_DOC,
+        "| `shard.<id>.acquires` | counter | ACQUIRE messages processed |",
+        "| `shard.<id>.acquires` | counter | ACQUIRE messages processed |\n"
+        "| `shard.<id>.phantom_total` | counter | does not exist |",
+    )
+    found = run_lint(broken)
+    if not any("phantom_total" in f and "stale catalog row" in f for f in found):
+        failures.append(f"stale catalog metric not flagged: {found}")
+
+    # Rule 6c: the dashboard scraping a metric the runtime never emits must
+    # be flagged (mutating the retransmits regex models a rename on the
+    # producer side that never reached mocha_top).
+    broken = mutate(files, MOCHA_TOP, "retransmits$", "phantom_retx$")
+    found = run_lint(broken)
+    if not any("phantom_retx" in f and "read zeros" in f for f in found):
+        failures.append(f"scraped-but-unproduced metric not flagged: {found}")
 
     # Removing a dispatcher case must be flagged for that backend.
     broken = mutate(
