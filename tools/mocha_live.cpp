@@ -27,7 +27,16 @@
 //   --clients M it runs M simulated clients (LockClient threads sharing the
 //   endpoint, disjoint reply-port ranges); --distinct-locks gives client i
 //   lock --lock+i (uncontended scaling workloads; --counter-file assumes a
-//   single shared lock, do not combine). Reports p50/p99 lock-acquire
+//   single shared lock, do not combine). Scenario-matrix knobs
+//   (tools/run_scenarios.py, docs/SCENARIOS.md): --lock-space N draws each
+//   round's lock from [--lock, --lock+N) Zipf-weighted by --zipf-s (0 =
+//   uniform); --counter-dir D keeps one counter file per lock id
+//   (counter_<id>) so skewed and distinct-lock workloads verify counter
+//   equality too; --client-stagger-us delays client c's first round by c*N
+//   us; --start-delay-us parks the process before the workload;
+//   --grant-timeout-us widens the acquire deadline (scaled by
+//   MOCHA_TEST_TIME_SCALE) for deeply queued hot keys. Reports p50/p99
+//   lock-acquire
 //   latency and aggregate round throughput over all clients; with
 //   --counter-file it performs a non-atomic read-increment-write on the file
 //   while holding the lock, so lost updates expose any mutual-exclusion
@@ -100,11 +109,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -174,6 +185,21 @@ struct Args {
   int clients = 1;
   bool distinct_locks = false;
   std::string latency_dump_file;
+  // Scenario-matrix knobs (tools/run_scenarios.py, docs/SCENARIOS.md):
+  // with --lock-space N > 1 every simulated client draws a fresh lock id
+  // from [--lock, --lock + N) each round, Zipf-weighted by --zipf-s (0 =
+  // uniform); --counter-dir keeps one mutual-exclusion counter file per
+  // lock id so skewed workloads still verify exact counter equality;
+  // --client-stagger-us delays simulated client c's first round by c*N us
+  // (churn joins); --start-delay-us parks the whole process before the
+  // workload; --grant-timeout-us widens the per-acquire grant deadline
+  // (scaled by MOCHA_TEST_TIME_SCALE) for heavily queued hot-key runs.
+  int lock_space = 0;
+  double zipf_s = 1.0;
+  std::string counter_dir;
+  std::int64_t client_stagger_us = 0;
+  std::int64_t start_delay_us = 0;
+  std::int64_t grant_timeout_us = 0;
   // Transfer workload
   bool transfer = false;
   std::uint64_t bytes = 4096;
@@ -256,6 +282,9 @@ int usage(const char* argv0) {
                "--rounds N [--port P] [--lock ID] [--hold-us N] [--shared]\n"
                "          [--clients M] [--distinct-locks]"
                " [--latency-dump-file F]\n"
+               "          [--lock-space N] [--zipf-s S] [--counter-dir D]\n"
+               "          [--client-stagger-us N] [--start-delay-us N]"
+               " [--grant-timeout-us N]\n"
                "          [--counter-file F] [--bench-json-dir D] [--quiet]\n"
                "       %s --client --transfer --site N --server-addr HOST:PORT"
                " --rounds N\n"
@@ -319,6 +348,30 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.latency_dump_file = v;
+    } else if (arg == "--lock-space") {
+      const char* v = value();
+      if (!v) return false;
+      args.lock_space = std::atoi(v);
+    } else if (arg == "--zipf-s") {
+      const char* v = value();
+      if (!v) return false;
+      args.zipf_s = std::atof(v);
+    } else if (arg == "--counter-dir") {
+      const char* v = value();
+      if (!v) return false;
+      args.counter_dir = v;
+    } else if (arg == "--client-stagger-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.client_stagger_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--start-delay-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.start_delay_us = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--grant-timeout-us") {
+      const char* v = value();
+      if (!v) return false;
+      args.grant_timeout_us = std::strtoll(v, nullptr, 10);
     } else if (arg == "--bytes") {
       const char* v = value();
       if (!v) return false;
@@ -1177,12 +1230,51 @@ int run_replica(const Args& args, mocha::live::Endpoint& endpoint,
   return 0;
 }
 
+// Cumulative Zipf weights over ranks 1..n with exponent s (s = 0 degrades
+// to uniform). Shared read-only by every simulated-client thread.
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf;
+  cdf.reserve(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf.push_back(total);
+  }
+  return cdf;
+}
+
+// splitmix64: per-client deterministic stream, so a scenario run reproduces
+// its lock-popularity sequence exactly (the runner's correctness math
+// depends only on totals, but reproducible skew makes envelope tuning sane).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Interruptible workload-shaping sleep (churn joins, scheduled starts):
+// a SIGTERM mid-delay must still exit promptly.
+void scenario_sleep_us(std::int64_t duration_us) {
+  const std::int64_t deadline =
+      mocha::live::Clock::monotonic().now_us() + duration_us;
+  while (!g_stop) {
+    const std::int64_t left =
+        deadline - mocha::live::Clock::monotonic().now_us();
+    if (left <= 0) break;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min<std::int64_t>(left, 50'000)));
+  }
+}
+
 int run_client(const Args& args) {
   const auto colon = args.server_addr.rfind(':');
   if (colon == std::string::npos) {
     std::fprintf(stderr, "--server-addr must be HOST:PORT\n");
     return 64;
   }
+  if (args.start_delay_us > 0) scenario_sleep_us(args.start_delay_us);
   const std::string host = args.server_addr.substr(0, colon);
   const auto server_port = static_cast<std::uint16_t>(
       std::strtoul(args.server_addr.c_str() + colon + 1, nullptr, 10));
@@ -1220,6 +1312,14 @@ int run_client(const Args& args) {
                                 : mocha::replica::LockWireMode::kExclusive;
   const int clients = std::max(1, args.clients);
 
+  // Scenario workloads (docs/SCENARIOS.md): with --lock-space N > 1 each
+  // round draws its lock id from the Zipf CDF instead of using one fixed
+  // id per client, so popularity skew (hot-key) is a per-round property.
+  const bool zipf_locks = args.lock_space > 1;
+  const std::vector<double> cdf =
+      zipf_locks ? zipf_cdf(args.lock_space, args.zipf_s)
+                 : std::vector<double>{};
+
   // One simulated client = one LockClient on its own thread; all share the
   // endpoint (one site on the wire) with disjoint reply-port ranges and
   // nonce spaces.
@@ -1235,17 +1335,29 @@ int run_client(const Args& args) {
   for (int c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
       ClientResult& result = results[static_cast<std::size_t>(c)];
+      // Churn joins: simulated client c enters the workload c * stagger
+      // after the process starts, so the server sees a ramp, not a wall.
+      if (args.client_stagger_us > 0) {
+        scenario_sleep_us(args.client_stagger_us * c);
+      }
       mocha::live::LockClientOptions copts;
       copts.reply_port_base =
           static_cast<mocha::net::Port>(1000 + c * 64);
       copts.nonce_seed = static_cast<std::uint64_t>(copts.reply_port_base)
                          << 32;
+      if (args.grant_timeout_us > 0) {
+        copts.grant_timeout_us = static_cast<std::int64_t>(
+            static_cast<double>(args.grant_timeout_us) * time_scale());
+      }
       mocha::live::LockClient client(endpoint, kServerNode, copts);
       client.set_shard_map(shard_map);
-      const mocha::replica::LockId lock_id =
+      const mocha::replica::LockId fixed_lock =
           args.lock + (args.distinct_locks ? static_cast<std::uint32_t>(c)
                                            : 0u);
-      client.register_lock(lock_id);
+      if (!zipf_locks) client.register_lock(fixed_lock);
+      std::uint64_t rng = 0x6d6f636861ULL ^
+                          (static_cast<std::uint64_t>(args.site) << 32) ^
+                          static_cast<std::uint64_t>(c) * 0x9e3779b9ULL;
       result.latencies_us.reserve(args.rounds);
       for (std::uint64_t round = 0; round < args.rounds; ++round) {
         if (g_stop) {
@@ -1253,6 +1365,15 @@ int run_client(const Args& args) {
                        args.site, c, static_cast<unsigned long long>(round));
           result.failed = true;
           return;
+        }
+        mocha::replica::LockId lock_id = fixed_lock;
+        if (zipf_locks) {
+          const double u =
+              static_cast<double>(splitmix64(rng) >> 11) * 0x1.0p-53 *
+              cdf.back();
+          const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+          lock_id = args.lock + static_cast<std::uint32_t>(
+                                    std::distance(cdf.begin(), it));
         }
         mocha::util::Status acquired = client.acquire(lock_id, mode);
         if (!acquired.is_ok()) {
@@ -1265,10 +1386,19 @@ int run_client(const Args& args) {
         }
         result.latencies_us.push_back(client.last_grant_latency_us());
 
-        if (!args.counter_file.empty() &&
-            !bump_counter(args.counter_file)) {
+        // Mutual-exclusion verification: one counter per lock id
+        // (--counter-dir, skewed/distinct workloads) or the historical
+        // single shared file (--counter-file). Both are read-increment-
+        // write guarded only by the distributed lock, so a double grant
+        // shows up as a lost update in the scenario runner's sum.
+        std::string counter_path = args.counter_file;
+        if (!args.counter_dir.empty()) {
+          counter_path =
+              args.counter_dir + "/counter_" + std::to_string(lock_id);
+        }
+        if (!counter_path.empty() && !bump_counter(counter_path)) {
           std::fprintf(stderr, "client %u.%d: cannot update counter file %s\n",
-                       args.site, c, args.counter_file.c_str());
+                       args.site, c, counter_path.c_str());
           (void)client.release(lock_id);
           result.failed = true;
           return;

@@ -26,6 +26,76 @@ BIN=$1
 OUT=$2
 mkdir -p "$OUT"
 
+# Process-control scaffolding: every backgrounded mocha_live is tracked so
+# that (a) one crashed process fails the whole script with its real exit
+# status instead of being papered over, and (b) a mid-bench failure cannot
+# leave orphaned servers/clients holding the CI step's pipes open.
+TRACKED=()
+
+cleanup() {
+  local pid
+  for pid in "${TRACKED[@]}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+track() { TRACKED+=("$1"); }
+
+untrack() {
+  local pid keep=()
+  for pid in "${TRACKED[@]}"; do
+    [ "$pid" != "$1" ] && keep+=("$pid")
+  done
+  TRACKED=("${keep[@]+"${keep[@]}"}")
+}
+
+# wait_all <label> <pid>... — reap in completion order (wait -n, bash 5.1+)
+# and fail with the first non-zero status seen. On the first failure the
+# rest of the group is killed: the replica benches barrier on each other,
+# so a surviving peer would otherwise block forever on its dead sibling
+# and hang the CI job until the step timeout.
+wait_all() {
+  local label=$1 done_pid status rc=0 pid remaining=()
+  shift
+  remaining=("$@")
+  while [ "${#remaining[@]}" -gt 0 ]; do
+    status=0
+    wait -n -p done_pid "${remaining[@]}" || status=$?
+    if [ -z "${done_pid:-}" ]; then
+      echo "run_live_benches: $label: wait -n failed (status $status)" >&2
+      return 1
+    fi
+    untrack "$done_pid"
+    local keep=()
+    for pid in "${remaining[@]}"; do
+      [ "$pid" != "$done_pid" ] && keep+=("$pid")
+    done
+    remaining=("${keep[@]+"${keep[@]}"}")
+    if [ "$status" -ne 0 ]; then
+      echo "run_live_benches: $label: pid $done_pid exited $status" >&2
+      [ "$rc" -eq 0 ] && rc=$status
+      for pid in "${remaining[@]+"${remaining[@]}"}"; do
+        kill -KILL "$pid" 2>/dev/null || true
+      done
+    fi
+  done
+  return "$rc"
+}
+
+# stop_server <pid> — TERM the server and require a clean exit: a server
+# that already crashed mid-bench surfaces its real status here.
+stop_server() {
+  local pid=$1 status=0
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid" || status=$?
+  untrack "$pid"
+  if [ "$status" -ne 0 ]; then
+    echo "run_live_benches: server pid $pid exited $status" >&2
+    return "$status"
+  fi
+}
+
 # Every mocha_live process leaves its final registry snapshot and flight-
 # recorder dump (docs/OBSERVABILITY.md) next to the BENCH_*.json it
 # produced, so a bench regression comes with the telemetry to explain it.
@@ -51,30 +121,33 @@ wait_ready() { # <ready-file> -> echoes the server's first (bootstrap) port
 "$BIN" --server --port 0 --ready-file "$OUT/ready_wan" --quiet \
   "${WAN_FLAGS[@]}" --bw-kbps 6000 &
 SERVER=$!
+track "$SERVER"
 PORT=$(wait_ready "$OUT/ready_wan")
 "$BIN" --client --transfer --site 2 --server-addr "127.0.0.1:$PORT" \
   --rounds 100 --bytes 4096 --concurrency 4 \
   --bench-json-dir "$OUT" --bench-name live_wan --quiet \
   "${WAN_FLAGS[@]}" --bw-kbps 6000
-kill -TERM "$SERVER" && wait "$SERVER"
+stop_server "$SERVER"
 
 # --- 2. Replica-transfer bench (BENCH_live_transfer.json) ---
 DELAY_FLAGS=(--delay-us 20000)
 "$BIN" --server --port 0 --ready-file "$OUT/ready_transfer" \
   --stats-file "$OUT/transfer_server_stats.json" --quiet "${DELAY_FLAGS[@]}" &
 SERVER=$!
+track "$SERVER"
 PORT=$(wait_ready "$OUT/ready_transfer")
 "$BIN" --client --site 2 --server-addr "127.0.0.1:$PORT" --rounds 40 \
   --replica-bytes 1024,4096,262144 --replica-barrier 2 \
   --bench-json-dir "$OUT" --quiet "${DELAY_FLAGS[@]}" &
 C2=$!
+track "$C2"
 "$BIN" --client --site 3 --server-addr "127.0.0.1:$PORT" --rounds 40 \
   --replica-bytes 1024,4096,262144 --replica-barrier 2 \
   --quiet "${DELAY_FLAGS[@]}" &
 C3=$!
-wait "$C2"
-wait "$C3"
-kill -TERM "$SERVER" && wait "$SERVER"
+track "$C3"
+wait_all "transfer bench clients" "$C2" "$C3"
+stop_server "$SERVER"
 
 # --- 3. Shard-sweep bench (BENCH_live_shards.json) ---
 # Aggregate lock-directory throughput at 1, 2 and 4 shards: one server
@@ -88,6 +161,7 @@ for S in 1 2 4; do
     --ready-file "$OUT/ready_shards_$S" \
     --stats-file "$OUT/shard_server_stats_s$S.json" --quiet &
   SERVER=$!
+  track "$SERVER"
   PORT=$(wait_ready "$OUT/ready_shards_$S")
   PIDS=()
   for P in 1 2 3 4; do
@@ -98,9 +172,10 @@ for S in 1 2 4; do
       --bench-json-dir "$OUT" --bench-name "live_shards_s${S}_p${P}" \
       --quiet &
     PIDS+=($!)
+    track "${PIDS[-1]}"
   done
-  for pid in "${PIDS[@]}"; do wait "$pid"; done
-  kill -TERM "$SERVER" && wait "$SERVER"
+  wait_all "shard sweep s=$S clients" "${PIDS[@]}"
+  stop_server "$SERVER"
 done
 
 # Merge the four per-process results per shard count into the single gated
@@ -165,19 +240,21 @@ for BE in udp tcp; do
   "$BIN" --server --port 0 --ready-file "$OUT/ready_hybrid_$BE" \
     --bulk-backend "$BE" --quiet &
   SERVER=$!
+  track "$SERVER"
   PORT=$(wait_ready "$OUT/ready_hybrid_$BE")
   "$BIN" --client --site 2 --server-addr "127.0.0.1:$PORT" \
     --rounds "$HYBRID_ROUNDS" --replica-bytes "$HYBRID_SIZES" \
     --replica-barrier 2 --bulk-backend "$BE" \
     --bench-json-dir "$OUT" --bench-name "live_hybrid_$BE" --quiet &
   C2=$!
+  track "$C2"
   "$BIN" --client --site 3 --server-addr "127.0.0.1:$PORT" \
     --rounds "$HYBRID_ROUNDS" --replica-bytes "$HYBRID_SIZES" \
     --replica-barrier 2 --bulk-backend "$BE" --quiet &
   C3=$!
-  wait "$C2"
-  wait "$C3"
-  kill -TERM "$SERVER" && wait "$SERVER"
+  track "$C3"
+  wait_all "hybrid sweep $BE clients" "$C2" "$C3"
+  stop_server "$SERVER"
 done
 
 python3 - "$OUT" <<'PY'
@@ -229,6 +306,26 @@ with open(f"{out}/BENCH_live_hybrid.json", "w") as f:
 p99r = runs["tcp"]["p99_acquire_1048576"] / runs["udp"]["p99_acquire_1048576"]
 print(f"hybrid sweep: crossover {crossover} B, "
       f"1 MiB tcp/udp p99 ratio {p99r:.2f}")
+PY
+
+# A bench that died after its process tree was reaped can still leave a
+# truncated/empty JSON behind; refuse to hand such a file to the gate,
+# which would misread it as "missing metric" and exit 2 instead of naming
+# the broken bench.
+python3 - "$OUT" <<'PY'
+import json, sys
+out = sys.argv[1]
+for name in ("BENCH_live_wan.json", "BENCH_live_transfer.json",
+             "BENCH_live_shards.json", "BENCH_live_hybrid.json"):
+    path = f"{out}/{name}"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"run_live_benches: {name}: unreadable bench JSON: {err}")
+    if not doc.get("metrics"):
+        sys.exit(f"run_live_benches: {name}: no metrics in bench JSON")
+print("run_live_benches: all bench JSONs present and well-formed")
 PY
 
 echo "bench JSON written to $OUT:"

@@ -1,0 +1,726 @@
+#!/usr/bin/env python3
+"""Scenario & chaos matrix runner for the live runtime (docs/SCENARIOS.md).
+
+Launches a sharded ``mocha_live`` cluster plus a declarative matrix of
+client-process groups per named scenario, verifies workload correctness
+(exact mutual-exclusion counter equality, expected process exits, telemetry
+assertions scraped from the server's ``--stats-json`` registry dump), and
+emits one ``BENCH_scenario_<name>.json`` per scenario for the envelope gate
+(``tools/check_bench.py --compare-glob`` against ``bench/baselines/``).
+
+Scenarios (catalog + envelope-tuning guide in docs/SCENARIOS.md):
+
+  baseline   uncontended distinct locks across shards — the floor the other
+             scenarios are read against
+  hotkey     Zipf-skewed lock popularity (--lock-space/--zipf-s): hundreds
+             of clients hammering a handful of hot locks
+  churn      three client waves joining mid-run (--start-delay-us ramps +
+             per-client --client-stagger-us), earlier waves leaving while
+             later waves still run
+  partition  asymmetric userspace netem: one node group runs clean, the
+             other behind injected loss + delay, on disjoint lock ranges
+  storm      lease-break/blacklist storm: sacrificial holders acquire the
+             survivors' shared lock and are SIGKILLed while holding, so
+             progress depends on the server's lease breaker
+
+Profiles: ``smoke`` (ctest label `scenario`: seconds-fast subset sizes),
+``ci`` (the gated scale the committed envelopes are tuned for), ``full``
+(nightly lane: 2x clients and rounds, artifacts retained, no gate).
+
+Usage:
+  run_scenarios.py --bin build/tools/mocha_live --out scen-out \
+      [--profile ci] [--scenarios hotkey,storm] [--list]
+  run_scenarios.py --self-test
+
+The schedule (wave starts, kill times, ready/exit deadlines) stretches with
+MOCHA_TEST_TIME_SCALE, same contract as the live ctest suite.
+
+Exit status: 0 all scenarios passed, 1 correctness/workload failure,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Declarative matrix
+# ---------------------------------------------------------------------------
+
+# Per-profile multipliers applied to every group's (procs, clients, rounds).
+# Counts never scale below 1, so even `smoke` keeps each group's topology.
+PROFILES = {
+    "smoke": {"procs": 0.5, "clients": 0.25, "rounds": 0.5},
+    "ci": {"procs": 1.0, "clients": 1.0, "rounds": 1.0},
+    "full": {"procs": 1.0, "clients": 2.0, "rounds": 2.0},
+}
+
+# Every scenario: one server spec + client-process groups. Group counts are
+# the `ci` scale. `counters` groups bump one counter file per lock id while
+# holding the lock; the runner asserts the post-run sum equals the group's
+# procs * clients * rounds total, exactly.
+SCENARIOS = {
+    "baseline": {
+        "description": "uncontended distinct locks across 4 shards",
+        "server": {"shards": 4},
+        "groups": [
+            {
+                "name": "main", "procs": 4, "clients": 64, "rounds": 25,
+                "lock": 1, "distinct": True, "counters": True,
+            },
+        ],
+        "gated": ["p50_acquire_us", "p99_acquire_us"],
+    },
+    "hotkey": {
+        "description": "Zipf-skewed popularity, 256 clients on 64 locks",
+        "server": {"shards": 4},
+        "groups": [
+            {
+                "name": "main", "procs": 4, "clients": 64, "rounds": 20,
+                "lock": 1, "lock_space": 64, "zipf_s": 1.2,
+                "counters": True, "grant_timeout_us": 60_000_000,
+            },
+        ],
+        "gated": ["p50_acquire_us", "p99_acquire_us"],
+    },
+    "churn": {
+        "description": "three client waves joining/leaving mid-run",
+        "server": {"shards": 2},
+        "groups": [
+            {
+                "name": f"wave{i}", "procs": 2, "clients": 32, "rounds": 15,
+                "lock": 1, "lock_space": 16, "zipf_s": 0.9,
+                "counters": True, "stagger_us": 20_000,
+                "start_after_us": i * 1_500_000,
+                "grant_timeout_us": 60_000_000,
+            }
+            for i in range(3)
+        ],
+        "gated": ["p50_acquire_us", "p99_acquire_us"],
+    },
+    "partition": {
+        "description": "asymmetric loss/delay between node groups",
+        # WAN-sized lease grace: the far group's inbound loss can stall a
+        # GRANT delivery past the default 300 ms grace, and a break
+        # blacklists the whole far site — that is the failover scenario's
+        # job (storm), not this one's.
+        "server": {"shards": 2, "lease_grace_us": 3_000_000},
+        "groups": [
+            {
+                "name": "near", "procs": 2, "clients": 32, "rounds": 15,
+                "lock": 1, "lock_space": 16, "zipf_s": 0.8,
+                "counters": True, "grant_timeout_us": 60_000_000,
+            },
+            {
+                "name": "far", "procs": 2, "clients": 32, "rounds": 15,
+                "lock": 5001, "lock_space": 16, "zipf_s": 0.8,
+                "counters": True, "grant_timeout_us": 60_000_000,
+                "netem": {"loss_pct": 4, "delay_us": 30_000},
+            },
+        ],
+        "gated": ["p50_acquire_us", "p99_acquire_us"],
+    },
+    "storm": {
+        "description": "lease-break storms: holders SIGKILLed mid-hold",
+        "server": {"shards": 1, "lease_grace_us": 150_000},
+        "groups": [
+            {
+                # hold_us stretches the survivors' run so every sacrificial
+                # holder lands mid-workload and its lease-break stall shows
+                # up in the survivors' acquire tail (the gated p99).
+                "name": "survivors", "procs": 2, "clients": 16, "rounds": 15,
+                "lock": 1, "counters": True, "hold_us": 5_000,
+                "grant_timeout_us": 60_000_000,
+            },
+            {
+                # Sacrificial holders: one acquire of the survivors' lock,
+                # then a 60 s hold they never finish — the runner SIGKILLs
+                # them while holding, so every kill forces a lease break
+                # (declared expected hold stays the client default, which
+                # is what the server's failure detector times against).
+                "name": "victims", "procs": 3, "clients": 1, "rounds": 1,
+                "lock": 1, "hold_us": 60_000_000, "counters": False,
+                "start_after_us": 200_000, "proc_spacing_us": 1_000_000,
+                "kill_after_us": 1_200_000,
+                "grant_timeout_us": 60_000_000,
+            },
+        ],
+        "checks": {"min_lease_breaks": 1},
+        "gated": ["p50_acquire_us", "p99_acquire_us"],
+    },
+}
+
+
+class ScenarioError(Exception):
+    """Bad configuration (unknown scenario/profile, malformed spec)."""
+
+
+@dataclass
+class ServerSpec:
+    shards: int
+    lease_grace_us: int | None = None
+
+
+@dataclass
+class ClientSpec:
+    group: str
+    site: int
+    clients: int
+    rounds: int
+    lock: int
+    lock_space: int = 0
+    zipf_s: float = 0.0
+    distinct: bool = False
+    counters: bool = False
+    hold_us: int = 0
+    stagger_us: int = 0
+    grant_timeout_us: int = 0
+    netem: dict = field(default_factory=dict)
+    start_after_us: int = 0
+    kill_after_us: int | None = None  # SIGKILL this long after ITS start
+
+    @property
+    def expect_kill(self) -> bool:
+        return self.kill_after_us is not None
+
+
+@dataclass
+class Plan:
+    name: str
+    profile: str
+    server: ServerSpec
+    clients: list[ClientSpec]
+    expected_counter_total: int
+    checks: dict
+    gated: list[str]
+
+
+def scale_count(value: int, factor: float) -> int:
+    return max(1, round(value * factor))
+
+
+def netem_flags(netem: dict) -> list[str]:
+    """CLI flags for one group's userspace netem (empty dict = clean path)."""
+    flags: list[str] = []
+    if netem.get("loss_pct"):
+        flags += ["--loss-pct", str(netem["loss_pct"])]
+    if netem.get("delay_us"):
+        flags += ["--delay-us", str(netem["delay_us"])]
+    if netem.get("bw_kbps"):
+        flags += ["--bw-kbps", str(netem["bw_kbps"])]
+    return flags
+
+
+def plan_scenario(name: str, profile: str, time_scale: float = 1.0) -> Plan:
+    """Expands one scenario's declarative matrix into concrete process
+    specs: unique sites, per-process lock bases, profile-scaled counts, and
+    a wall-clock start/kill schedule stretched by `time_scale`."""
+    if name not in SCENARIOS:
+        raise ScenarioError(f"unknown scenario {name!r} "
+                            f"(have: {', '.join(sorted(SCENARIOS))})")
+    if profile not in PROFILES:
+        raise ScenarioError(f"unknown profile {profile!r} "
+                            f"(have: {', '.join(sorted(PROFILES))})")
+    spec = SCENARIOS[name]
+    factors = PROFILES[profile]
+
+    server = ServerSpec(shards=spec["server"]["shards"],
+                        lease_grace_us=spec["server"].get("lease_grace_us"))
+    clients: list[ClientSpec] = []
+    expected = 0
+    site = 2  # site 1 is the server
+    for group in spec["groups"]:
+        procs = scale_count(group["procs"], factors["procs"])
+        n_clients = scale_count(group["clients"], factors["clients"])
+        rounds = scale_count(group["rounds"], factors["rounds"])
+        spacing = group.get("proc_spacing_us", 0)
+        for p in range(procs):
+            start = int((group.get("start_after_us", 0) + p * spacing)
+                        * time_scale)
+            kill = group.get("kill_after_us")
+            clients.append(ClientSpec(
+                group=group["name"],
+                site=site,
+                clients=n_clients,
+                rounds=rounds,
+                # Distinct-lock groups give every process a disjoint id
+                # range (client i inside takes base + i via --distinct-locks)
+                lock=group["lock"] + (p * 1000 if group.get("distinct")
+                                      else 0),
+                lock_space=group.get("lock_space", 0),
+                zipf_s=group.get("zipf_s", 0.0),
+                distinct=bool(group.get("distinct")),
+                counters=bool(group.get("counters")),
+                hold_us=group.get("hold_us", 0),
+                stagger_us=int(group.get("stagger_us", 0) * time_scale),
+                grant_timeout_us=group.get("grant_timeout_us", 0),
+                netem=group.get("netem", {}),
+                start_after_us=start,
+                kill_after_us=(int(kill * time_scale)
+                               if kill is not None else None),
+            ))
+            site += 1
+            if group.get("counters"):
+                expected += n_clients * rounds
+    return Plan(name=name, profile=profile, server=server, clients=clients,
+                expected_counter_total=expected,
+                checks=spec.get("checks", {}), gated=list(spec["gated"]))
+
+
+def build_client_argv(bin_path: str, spec: ClientSpec, port: int,
+                      scenario_dir: Path) -> list[str]:
+    argv = [bin_path, "--client", "--site", str(spec.site),
+            "--server-addr", f"127.0.0.1:{port}",
+            "--rounds", str(spec.rounds), "--clients", str(spec.clients),
+            "--lock", str(spec.lock), "--quiet"]
+    if spec.distinct:
+        argv.append("--distinct-locks")
+    if spec.lock_space > 1:
+        argv += ["--lock-space", str(spec.lock_space),
+                 "--zipf-s", str(spec.zipf_s)]
+    if spec.counters:
+        argv += ["--counter-dir", str(scenario_dir / "counters")]
+    if spec.hold_us:
+        argv += ["--hold-us", str(spec.hold_us)]
+    if spec.stagger_us:
+        argv += ["--client-stagger-us", str(spec.stagger_us)]
+    if spec.grant_timeout_us:
+        argv += ["--grant-timeout-us", str(spec.grant_timeout_us)]
+    # Sacrificial processes die mid-hold; their latency samples would be a
+    # partial, kill-timing-dependent subset, so only surviving workload
+    # processes contribute to the merged percentiles.
+    if not spec.expect_kill:
+        argv += ["--latency-dump-file", str(scenario_dir / f"lat_{spec.site}")]
+    argv += netem_flags(spec.netem)
+    return argv
+
+
+def build_server_argv(bin_path: str, server: ServerSpec,
+                      scenario_dir: Path) -> list[str]:
+    argv = [bin_path, "--server", "--port", "0",
+            "--shards", str(server.shards),
+            "--ready-file", str(scenario_dir / "ready"),
+            "--stats-json", str(scenario_dir / "server_stats.json"),
+            "--quiet"]
+    if server.lease_grace_us is not None:
+        argv += ["--lease-grace-us", str(server.lease_grace_us)]
+    return argv
+
+
+# ---------------------------------------------------------------------------
+# Result evaluation (pure: unit-tested by --self-test)
+# ---------------------------------------------------------------------------
+
+def counter_total(counter_dir: Path) -> int:
+    total = 0
+    for path in sorted(counter_dir.glob("counter_*")):
+        text = path.read_text().strip()
+        total += int(text) if text else 0
+    return total
+
+
+def check_counters(counter_dir: Path, expected: int) -> str | None:
+    """None when the mutual-exclusion counters sum exactly to the number of
+    completed rounds; otherwise a human-readable violation (a shortfall is
+    a lost update, i.e. a double grant; an excess is a double count)."""
+    total = counter_total(counter_dir)
+    if total != expected:
+        return (f"counter sum {total} != expected {expected} "
+                f"({'lost updates' if total < expected else 'overcount'}: "
+                f"mutual-exclusion violation)")
+    return None
+
+
+def load_server_metrics(stats_json: Path) -> dict[str, float]:
+    """Flat metrics map from the server's final --stats-json registry dump
+    (docs/OBSERVABILITY.md) — the PR 8 telemetry is the only counter source
+    the runner trusts; it never re-derives server-side numbers itself."""
+    doc = json.loads(stats_json.read_text())
+    return {str(k): float(v) for k, v in doc.get("metrics", {}).items()}
+
+
+def sum_shard_metric(metrics: dict[str, float], suffix: str) -> float:
+    return sum(v for k, v in metrics.items()
+               if k.startswith("shard.") and k.endswith("." + suffix))
+
+
+def check_telemetry(metrics: dict[str, float], plan: Plan) -> str | None:
+    grants = sum_shard_metric(metrics, "grants")
+    if grants <= 0:
+        return "server telemetry shows zero grants (scrape or workload broken)"
+    min_breaks = plan.checks.get("min_lease_breaks", 0)
+    breaks = sum_shard_metric(metrics, "lease_breaks")
+    if breaks < min_breaks:
+        return (f"lease_breaks {breaks:.0f} < required {min_breaks} "
+                f"(the chaos this scenario exists to exercise never happened)")
+    return None
+
+
+def merge_latencies(scenario_dir: Path) -> list[int]:
+    merged: list[int] = []
+    for path in sorted(scenario_dir.glob("lat_*")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                merged.append(int(line))
+    merged.sort()
+    return merged
+
+
+def percentile(sorted_values: list[int], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = int(p * (len(sorted_values) - 1))
+    return float(sorted_values[idx])
+
+
+def bench_metrics(latencies: list[int], wall_us: float,
+                  server_metrics: dict[str, float]) -> list[dict]:
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    rate = len(latencies) * 1e6 / wall_us if wall_us > 0 else 0.0
+    return [
+        {"name": "p50_acquire_us", "value": percentile(latencies, 0.50),
+         "unit": "us"},
+        {"name": "p99_acquire_us", "value": percentile(latencies, 0.99),
+         "unit": "us"},
+        {"name": "mean_acquire_us", "value": mean, "unit": "us"},
+        {"name": "locks_per_sec", "value": rate, "unit": "rounds/s"},
+        {"name": "acquire_samples", "value": float(len(latencies)),
+         "unit": "count"},
+        {"name": "server_grants",
+         "value": sum_shard_metric(server_metrics, "grants"),
+         "unit": "count"},
+        {"name": "server_lease_breaks",
+         "value": sum_shard_metric(server_metrics, "lease_breaks"),
+         "unit": "count"},
+    ]
+
+
+def write_bench_json(out_dir: Path, name: str, metrics: list[dict]) -> Path:
+    path = out_dir / f"BENCH_scenario_{name}.json"
+    path.write_text(json.dumps({"name": f"scenario_{name}",
+                                "metrics": metrics}, indent=2) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Process orchestration
+# ---------------------------------------------------------------------------
+
+def env_time_scale() -> float:
+    try:
+        scale = float(os.environ.get("MOCHA_TEST_TIME_SCALE", "1"))
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
+def wait_ready(ready_file: Path, deadline_s: float) -> int:
+    """First (bootstrap) shard port once the server wrote its ready file."""
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        try:
+            text = ready_file.read_text().strip()
+        except FileNotFoundError:
+            text = ""
+        if text:
+            return int(text.split()[0])
+        time.sleep(0.05)
+    raise ScenarioError(f"server never became ready ({ready_file})")
+
+
+def run_scenario(name: str, profile: str, bin_path: str,
+                 out_dir: Path) -> tuple[bool, list[str]]:
+    """Runs one scenario end to end. Returns (passed, failure messages);
+    always leaves BENCH_scenario_<name>.json + raw telemetry in out_dir."""
+    scale = env_time_scale()
+    plan = plan_scenario(name, profile, time_scale=scale)
+    scenario_dir = out_dir / name
+    if scenario_dir.exists():
+        shutil.rmtree(scenario_dir)
+    (scenario_dir / "counters").mkdir(parents=True)
+
+    failures: list[str] = []
+    procs: list[tuple[ClientSpec, subprocess.Popen]] = []
+    server = subprocess.Popen(
+        build_server_argv(bin_path, plan.server, scenario_dir))
+    t0 = time.monotonic()
+    try:
+        port = wait_ready(scenario_dir / "ready", deadline_s=20 * scale)
+
+        pending = sorted(plan.clients, key=lambda s: s.start_after_us)
+        running: list[tuple[ClientSpec, subprocess.Popen, float]] = []
+        kills: list[tuple[ClientSpec, subprocess.Popen, float]] = []
+        while pending or running:
+            now = time.monotonic()
+            while pending and (now - t0) * 1e6 >= pending[0].start_after_us:
+                spec = pending.pop(0)
+                proc = subprocess.Popen(
+                    build_client_argv(bin_path, spec, port, scenario_dir))
+                procs.append((spec, proc))
+                running.append((spec, proc, now))
+                if spec.expect_kill:
+                    kills.append((spec, proc,
+                                  now + spec.kill_after_us / 1e6))
+            for spec, proc, due in list(kills):
+                if time.monotonic() >= due and proc.poll() is None:
+                    proc.kill()
+                    kills.remove((spec, proc, due))
+            still: list[tuple[ClientSpec, subprocess.Popen, float]] = []
+            for spec, proc, started in running:
+                rc = proc.poll()
+                if rc is None:
+                    still.append((spec, proc, started))
+                    continue
+                if spec.expect_kill:
+                    if rc == 0:
+                        failures.append(
+                            f"{name}/{spec.group} site {spec.site}: "
+                            f"sacrificial process finished before its kill")
+                elif rc != 0:
+                    failures.append(f"{name}/{spec.group} site {spec.site}: "
+                                    f"exit status {rc}")
+            running = still
+            time.sleep(0.05)
+    except ScenarioError as err:
+        failures.append(f"{name}: {err}")
+    finally:
+        for _, proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        server.send_signal(signal.SIGTERM)
+        try:
+            rc = server.wait(timeout=30 * scale)
+            if rc != 0:
+                failures.append(f"{name}: server exit status {rc}")
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+            failures.append(f"{name}: server did not stop on SIGTERM")
+    wall_us = (time.monotonic() - t0) * 1e6
+
+    # Correctness: exact counter equality + telemetry assertions.
+    error = check_counters(scenario_dir / "counters",
+                           plan.expected_counter_total)
+    if error:
+        failures.append(f"{name}: {error}")
+    server_metrics: dict[str, float] = {}
+    stats_json = scenario_dir / "server_stats.json"
+    if stats_json.exists():
+        server_metrics = load_server_metrics(stats_json)
+        error = check_telemetry(server_metrics, plan)
+        if error:
+            failures.append(f"{name}: {error}")
+    else:
+        failures.append(f"{name}: server never wrote {stats_json}")
+
+    latencies = merge_latencies(scenario_dir)
+    if not latencies:
+        failures.append(f"{name}: no latency samples")
+    bench = write_bench_json(out_dir, name,
+                             bench_metrics(latencies, wall_us,
+                                           server_metrics))
+    print(f"run_scenarios: {name} [{profile}] "
+          f"{len(latencies)} acquires, p50 {percentile(latencies, 0.5):.0f} "
+          f"us, p99 {percentile(latencies, 0.99):.0f} us, "
+          f"counter {counter_total(scenario_dir / 'counters')}/"
+          f"{plan.expected_counter_total} -> {bench.name}"
+          + ("" if not failures else f"  [{len(failures)} FAILURE(S)]"))
+    return not failures, failures
+
+
+# ---------------------------------------------------------------------------
+# Self-test: config parsing + schedule generation (ctest label `lint`)
+# ---------------------------------------------------------------------------
+
+def self_test() -> int:
+    failures: list[str] = []
+
+    def expect(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    # Every catalogued scenario plans cleanly at every profile, with unique
+    # sites and a positive counter expectation.
+    for name in SCENARIOS:
+        for profile in PROFILES:
+            plan = plan_scenario(name, profile)
+            sites = [s.site for s in plan.clients]
+            expect(len(sites) == len(set(sites)),
+                   f"{name}/{profile}: duplicate site ids")
+            expect(plan.expected_counter_total > 0,
+                   f"{name}/{profile}: no counter-checked rounds")
+            expect(plan.server.shards >= 1, f"{name}: no shards")
+
+    # Profile scaling: smoke strictly smaller than ci, full at least ci.
+    def total_rounds(plan: Plan) -> int:
+        return sum(s.clients * s.rounds for s in plan.clients)
+    for name in SCENARIOS:
+        smoke, ci, full = (plan_scenario(name, p)
+                           for p in ("smoke", "ci", "full"))
+        expect(total_rounds(smoke) < total_rounds(ci),
+               f"{name}: smoke not smaller than ci")
+        expect(total_rounds(full) >= total_rounds(ci),
+               f"{name}: full smaller than ci")
+
+    # Negatives: unknown names must be rejected, not silently skipped.
+    for bad in (("nosuch", "ci"), ("hotkey", "noprofile")):
+        try:
+            plan_scenario(*bad)
+            failures.append(f"bad plan accepted: {bad}")
+        except ScenarioError:
+            pass
+
+    # Netem schedule: partition must be asymmetric — at least one group
+    # behind loss flags, at least one clean.
+    plan = plan_scenario("partition", "ci")
+    lossy = [s for s in plan.clients if "--loss-pct" in
+             build_client_argv("bin", s, 1, Path("/tmp"))]
+    clean = [s for s in plan.clients if s not in lossy]
+    expect(bool(lossy) and bool(clean),
+           "partition: netem not asymmetric across groups")
+    expect(netem_flags({}) == [], "netem_flags({}) not empty")
+    expect(netem_flags({"loss_pct": 2, "delay_us": 5, "bw_kbps": 9}) ==
+           ["--loss-pct", "2", "--delay-us", "5", "--bw-kbps", "9"],
+           "netem_flags full dict wrong")
+
+    # Kill schedule: storm has sacrificial processes, killed strictly after
+    # their start, and they contend on the survivors' lock.
+    plan = plan_scenario("storm", "ci")
+    victims = [s for s in plan.clients if s.expect_kill]
+    survivors = [s for s in plan.clients if not s.expect_kill]
+    expect(len(victims) >= 1, "storm: no sacrificial processes")
+    expect(all(v.kill_after_us > 0 for v in victims),
+           "storm: kill not after start")
+    expect(all(v.lock == survivors[0].lock for v in victims),
+           "storm: victims not on the survivors' lock")
+    expect(all(not v.counters for v in victims),
+           "storm: sacrificial processes must not touch counters")
+    argv = build_client_argv("bin", victims[0], 1, Path("/tmp"))
+    expect("--latency-dump-file" not in argv,
+           "storm: victim latencies must not pollute the percentiles")
+
+    # Churn: waves start at strictly increasing offsets and stagger their
+    # simulated clients.
+    plan = plan_scenario("churn", "ci")
+    starts = sorted({s.start_after_us for s in plan.clients})
+    expect(len(starts) >= 3, "churn: fewer than 3 distinct wave starts")
+    expect(all(s.stagger_us > 0 for s in plan.clients),
+           "churn: clients not staggered")
+
+    # Hot-key: the skew flags must reach the command line.
+    plan = plan_scenario("hotkey", "ci")
+    argv = build_client_argv("bin", plan.clients[0], 7000, Path("/x"))
+    expect("--lock-space" in argv and "--zipf-s" in argv and
+           "--counter-dir" in argv, "hotkey: skew/counter flags missing")
+    expect("127.0.0.1:7000" in argv, "server addr not wired")
+
+    # Time scaling stretches the wall schedule (sanitizer lanes).
+    fast = plan_scenario("storm", "ci", time_scale=1.0)
+    slow = plan_scenario("storm", "ci", time_scale=3.0)
+    fast_kill = next(s.kill_after_us for s in fast.clients if s.expect_kill)
+    slow_kill = next(s.kill_after_us for s in slow.clients if s.expect_kill)
+    expect(slow_kill == 3 * fast_kill, "kill schedule ignores time scale")
+
+    # Correctness math: counter mismatch (the check the CI lane relies on to
+    # fail on a mutual-exclusion violation) must trip in both directions.
+    with tempfile.TemporaryDirectory() as tmp:
+        counter_dir = Path(tmp)
+        (counter_dir / "counter_1").write_text("7\n")
+        (counter_dir / "counter_2").write_text("5\n")
+        expect(check_counters(counter_dir, 12) is None,
+               "exact counters flagged as violation")
+        expect(check_counters(counter_dir, 13) is not None,
+               "lost update not detected")
+        expect(check_counters(counter_dir, 11) is not None,
+               "overcount not detected")
+
+    # Telemetry assertions keyed off the PR 8 registry names.
+    metrics = {"shard.0.grants": 10.0, "shard.1.grants": 5.0,
+               "shard.0.lease_breaks": 2.0}
+    expect(sum_shard_metric(metrics, "grants") == 15.0,
+           "shard metric sum wrong")
+    plan = plan_scenario("storm", "ci")
+    expect(check_telemetry(metrics, plan) is None,
+           "healthy storm telemetry rejected")
+    expect(check_telemetry({"shard.0.grants": 10.0}, plan) is not None,
+           "missing lease breaks not detected")
+    expect(check_telemetry({}, plan) is not None,
+           "zero-grant telemetry not detected")
+
+    # Percentile merge across per-process dumps.
+    with tempfile.TemporaryDirectory() as tmp:
+        d = Path(tmp)
+        (d / "lat_2").write_text("30\n10\n")
+        (d / "lat_3").write_text("20\n40\n")
+        merged = merge_latencies(d)
+        expect(merged == [10, 20, 30, 40], f"bad merge: {merged}")
+        expect(percentile(merged, 0.5) == 20.0, "bad p50")
+        expect(percentile(merged, 1.0) == 40.0, "bad p100")
+
+    if failures:
+        for failure in failures:
+            print(f"run_scenarios self-test FAILED: {failure}",
+                  file=sys.stderr)
+        return 1
+    print("run_scenarios self-test passed "
+          f"({len(SCENARIOS)} scenarios x {len(PROFILES)} profiles)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", help="mocha_live binary")
+    parser.add_argument("--out", type=Path, help="output directory")
+    parser.add_argument("--profile", default="ci",
+                        choices=sorted(PROFILES))
+    parser.add_argument("--scenarios", default=",".join(SCENARIOS),
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the scenario catalog and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="unit-test config parsing + schedule generation")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.list:
+        for name, spec in SCENARIOS.items():
+            print(f"{name:10s} {spec['description']}")
+        return 0
+    if not args.bin or not args.out:
+        parser.error("--bin and --out are required")
+
+    names = [n for n in args.scenarios.split(",") if n]
+    args.out.mkdir(parents=True, exist_ok=True)
+    all_failures: list[str] = []
+    try:
+        for name in names:
+            ok, failures = run_scenario(name, args.profile, args.bin,
+                                        args.out)
+            all_failures.extend(failures)
+    except ScenarioError as err:
+        print(f"run_scenarios: error: {err}", file=sys.stderr)
+        return 2
+    if all_failures:
+        for failure in all_failures:
+            print(f"run_scenarios: FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"run_scenarios: {len(names)} scenario(s) passed "
+          f"[{args.profile}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

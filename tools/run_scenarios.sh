@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point for the scenario & chaos matrix (docs/SCENARIOS.md):
+# runs tools/run_scenarios.py over the named scenarios and leaves one
+# BENCH_scenario_<name>.json per scenario in OUTDIR for the envelope gate
+# (tools/check_bench.py --compare-glob 'BENCH_scenario_*.json').
+#
+# Usage: run_scenarios.sh <mocha_live-binary> <outdir> [profile] [scenarios]
+#   profile    smoke | ci (default) | full
+#   scenarios  comma-separated subset (default: the whole catalog)
+set -euo pipefail
+
+BIN=$1
+OUT=$2
+PROFILE=${3:-ci}
+SCENARIOS=${4:-}
+
+mkdir -p "$OUT"
+# Every mocha_live process leaves its final registry snapshot and flight-
+# recorder dump next to the BENCH JSONs (docs/OBSERVABILITY.md), so a failed
+# scenario ships with the telemetry to explain it.
+MOCHA_STATS_DIR="$(cd "$OUT" && pwd)"
+export MOCHA_STATS_DIR
+
+ARGS=(--bin "$BIN" --out "$OUT" --profile "$PROFILE")
+if [ -n "$SCENARIOS" ]; then
+  ARGS+=(--scenarios "$SCENARIOS")
+fi
+exec python3 "$(dirname "$0")/run_scenarios.py" "${ARGS[@]}"
